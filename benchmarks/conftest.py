@@ -1,0 +1,28 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark file regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md).  Benchmarks both *measure* (the
+pytest-benchmark timing of the experiment's computation) and *assert the
+paper's qualitative claims* — who wins, what flips, what breaks — so a
+green benchmark run doubles as a reproduction check.
+
+Artifacts (rendered tables/matrices) are written to
+``benchmarks/artifacts/`` so EXPERIMENTS.md can reference stable outputs.
+"""
+
+import pathlib
+
+import pytest
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir():
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+def write_artifact(name: str, content: str) -> None:
+    ARTIFACTS.mkdir(exist_ok=True)
+    (ARTIFACTS / name).write_text(content, encoding="utf-8")

@@ -1,0 +1,73 @@
+"""Experiment ``footnote5``: is the missing-object sensitivity fundamental?
+
+The paper's open problem ("Is the RPKI's sensitivity to missing objects
+caused by fundamental design requirements, or are there alternate
+architectures that are more robust?") run as a 2x2: the RFC 6811
+semantics vs the footnote-5 alternative (explicit UNKNOWN subprefix
+disposition), against both threats.
+
+Measured answer: the sensitivity is the price of the protection.  The
+alternative semantics eliminates Side Effect 6 entirely and surrenders
+subprefix-hijack protection entirely — the same opposition as Table 6,
+relocated from the relying party's policy into the object format.
+"""
+
+from conftest import write_artifact
+
+from repro.rp import (
+    DispositionVrp,
+    DispositionVrpSet,
+    Route,
+    RouteValidity,
+    SubprefixDisposition,
+    classify_disposition,
+)
+
+INV = SubprefixDisposition.INVALID
+UNK = SubprefixDisposition.UNKNOWN
+
+
+def run_matrix():
+    outcomes = {}
+    for name, disposition in (("rfc6811", INV), ("footnote5", UNK)):
+        vrps = DispositionVrpSet([
+            DispositionVrp.parse("63.174.16.0/20", 17054, disposition),
+        ])
+        # Threat A: subprefix hijack — is the hijacker's route filtered?
+        hijack = classify_disposition(
+            Route.parse("63.174.16.0/21", 666), vrps
+        )
+        # Threat B: a legitimate subordinate ROA is missing — what happens
+        # to its route?
+        missing = classify_disposition(
+            Route.parse("63.174.16.0/22", 7341), vrps
+        )
+        outcomes[name] = (hijack, missing)
+    return outcomes
+
+
+def test_footnote5_semantics(benchmark):
+    outcomes = benchmark(run_matrix)
+
+    rfc_hijack, rfc_missing = outcomes["rfc6811"]
+    alt_hijack, alt_missing = outcomes["footnote5"]
+
+    # RFC 6811: hijack filtered, missing ROA punished.
+    assert rfc_hijack is RouteValidity.INVALID
+    assert rfc_missing is RouteValidity.INVALID
+    # Footnote 5: missing ROA harmless, hijack unfiltered.
+    assert alt_hijack is RouteValidity.UNKNOWN
+    assert alt_missing is RouteValidity.UNKNOWN
+
+    lines = [
+        "footnote-5 semantics vs RFC 6811 (route state under each threat)",
+        "",
+        f"{'semantics':<12}{'subprefix hijack':>20}{'missing sub-ROA':>20}",
+        f"{'rfc6811':<12}{rfc_hijack.value:>20}{rfc_missing.value:>20}",
+        f"{'footnote5':<12}{alt_hijack.value:>20}{alt_missing.value:>20}",
+        "",
+        "The sensitivity to missing objects is fundamental: whichever",
+        "state unauthorized subprefixes get, hijacks and missing ROAs",
+        "get it together.",
+    ]
+    write_artifact("footnote5.txt", "\n".join(lines))

@@ -1,0 +1,50 @@
+"""Experiment ``granularity``: Section 7's takedown-granularity comparison.
+
+"These manipulations are more coarse-grained than domain name seizures,
+because current BGP practices limit their granularity to a /24 IPv4
+prefix, i.e., 256 IPv4 addresses."  The sweep measures blast radius as a
+function of how coarse the target's ROA protection is.
+"""
+
+from conftest import write_artifact
+
+from repro.core import MIN_ROUTABLE_V4, whack_blast_radius
+from repro.rp import VRP, VrpSet
+
+
+def sweep():
+    rows = []
+    for roa_length in (24, 20, 16, 12):
+        vrps = VrpSet([VRP.parse(f"63.160.0.0/{roa_length}", 17054)])
+        radius = whack_blast_radius("63.160.0.77", vrps)
+        rows.append((roa_length, radius))
+    return rows
+
+
+def test_granularity_sweep(benchmark):
+    rows = benchmark(sweep)
+
+    # The paper's floor: at least 256 addresses per takedown.
+    assert MIN_ROUTABLE_V4 == 24
+    for _length, radius in rows:
+        assert radius.minimum_unreachable == 256
+        assert radius.dns_seizure_equivalent == 1
+
+    # Coarser ROAs amplify the disturbance.
+    disturbances = [radius.disturbed_addresses for _l, radius in rows]
+    assert disturbances == [256, 4096, 65536, 2**20]
+
+    lines = [
+        "Section 7 — takedown granularity (target: one address)",
+        "",
+        f"{'ROA length':<12}{'addresses disturbed':>22}"
+        f"{'minimum takedown unit':>24}",
+    ]
+    for length, radius in rows:
+        lines.append(
+            f"/{length:<11}{radius.disturbed_addresses:>22}"
+            f"{radius.minimum_unreachable:>24}"
+        )
+    lines.append("")
+    lines.append("domain-name seizure equivalent: 1 name")
+    write_artifact("granularity.txt", "\n".join(lines))

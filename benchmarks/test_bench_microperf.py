@@ -1,0 +1,116 @@
+"""Micro-benchmarks of the hot paths under the experiments.
+
+Not tied to a paper artifact; these keep the substrate honest — origin
+validation and trie lookups are the per-route costs a relying party pays
+on every BGP update, and signing/verification dominate model
+construction.
+"""
+
+import random
+
+from repro.crypto import generate_keypair
+from repro.resources import ASN, Afi, Prefix, PrefixTrie
+from repro.rp import VRP, Route, VrpSet, classify
+
+
+def build_vrp_set(count=500, seed=3):
+    rng = random.Random(seed)
+    vrps = VrpSet()
+    for _ in range(count):
+        length = rng.randint(12, 24)
+        network = rng.getrandbits(32)
+        network = (network >> (32 - length)) << (32 - length)
+        prefix = Prefix(Afi.IPV4, network, length)
+        max_length = min(prefix.afi.bits, length + rng.randint(0, 8))
+        vrps.add(VRP(prefix, max_length, ASN(rng.randint(1, 65000))))
+    return vrps
+
+
+def test_origin_validation_throughput(benchmark):
+    vrps = build_vrp_set()
+    rng = random.Random(4)
+    routes = []
+    for _ in range(1000):
+        length = rng.randint(8, 24)
+        network = (rng.getrandbits(32) >> (32 - length)) << (32 - length)
+        routes.append(Route(
+            Prefix(Afi.IPV4, network, length), ASN(rng.randint(1, 65000))
+        ))
+
+    def classify_all():
+        return [classify(route, vrps) for route in routes]
+
+    states = benchmark(classify_all)
+    assert len(states) == 1000
+
+
+def test_trie_longest_match(benchmark):
+    rng = random.Random(5)
+    trie = PrefixTrie(Afi.IPV4)
+    for i in range(2000):
+        length = rng.randint(8, 24)
+        network = (rng.getrandbits(32) >> (32 - length)) << (32 - length)
+        trie.insert(Prefix(Afi.IPV4, network, length), i)
+    probes = [
+        Prefix(Afi.IPV4, rng.getrandbits(32), 32) for _ in range(1000)
+    ]
+
+    def lookup_all():
+        return [trie.longest_match(p) for p in probes]
+
+    hits = benchmark(lookup_all)
+    assert len(hits) == 1000
+
+
+def test_rsa_sign(benchmark):
+    key = generate_keypair(512, random.Random(6))
+    signature = benchmark(key.sign, b"a roa payload")
+    assert key.public.verify(b"a roa payload", signature)
+
+
+def test_rsa_verify(benchmark):
+    key = generate_keypair(512, random.Random(6))
+    signature = key.sign(b"a roa payload")
+    assert benchmark(key.public.verify, b"a roa payload", signature)
+
+
+def test_rtr_full_sync(benchmark):
+    """Reset-sync N VRPs through the RTR codec and both state machines."""
+    from repro.rtr import DuplexPipe, RtrCacheServer, RtrRouterClient
+
+    vrps = build_vrp_set(count=1000, seed=7)
+    server = RtrCacheServer()
+    server.update(vrps)
+
+    def sync():
+        pipe = DuplexPipe()
+        server.attach(pipe)
+        client = RtrRouterClient(pipe)
+        client.connect()
+        for _ in range(3):
+            server.process()
+            client.process()
+        return client
+
+    client = benchmark(sync)
+    assert client.vrp_count == len(vrps)
+
+
+def test_rtr_codec_throughput(benchmark):
+    """Encode + decode a 1000-PDU burst."""
+    from repro.rtr import PrefixPdu, decode_pdus, encode_pdu
+
+    vrps = build_vrp_set(count=1000, seed=8)
+    pdus = [
+        PrefixPdu(announce=True, prefix=v.prefix,
+                  max_length=v.max_length, asn=v.asn)
+        for v in vrps
+    ]
+
+    def roundtrip():
+        blob = b"".join(encode_pdu(p) for p in pdus)
+        decoded, rest = decode_pdus(blob)
+        return decoded, rest
+
+    decoded, rest = benchmark(roundtrip)
+    assert len(decoded) == len(pdus) and rest == b""

@@ -1,0 +1,52 @@
+"""Experiment ``scale``: deployment size vs validation cost (footnote 4).
+
+The paper notes production deployment was ~1200-1400 ROAs, "less than 1%
+of projected deployment."  This benchmark sweeps the synthetic generator
+across deployment scales and measures full relying-party validation
+(fetch + path validation + VRP extraction), the operation whose cost
+growth determines whether relying parties can keep their caches complete
+— completeness being the property Side Effect 6 turns on.
+"""
+
+import pytest
+
+from conftest import write_artifact
+
+from repro.modelgen import DeploymentConfig, build_deployment
+from repro.repository import Fetcher
+from repro.rp import RelyingParty
+
+SCALES = {
+    "small": DeploymentConfig(isps_per_rir=2, customers_per_isp=1, seed=21),
+    "medium": DeploymentConfig(isps_per_rir=6, customers_per_isp=2, seed=21),
+    "large": DeploymentConfig(isps_per_rir=12, customers_per_isp=3, seed=21),
+}
+
+_RESULTS: dict[str, tuple[int, int]] = {}
+
+
+@pytest.mark.parametrize("scale", list(SCALES))
+def test_scale_validation(benchmark, scale):
+    world = build_deployment(SCALES[scale])
+
+    def validate():
+        rp = RelyingParty(
+            world.trust_anchors,
+            Fetcher(world.registry, world.clock),
+            world.clock,
+        )
+        report = rp.refresh()
+        return rp, report
+
+    rp, report = benchmark(validate)
+    assert report.run.errors() == []
+    assert len(rp.vrps) == world.roa_count()
+    _RESULTS[scale] = (world.roa_count(), len(world.authorities()))
+
+    if scale == "large":
+        lines = ["scale    ROAs  authorities"]
+        for name, (roas, authorities) in _RESULTS.items():
+            lines.append(f"{name:<8} {roas:>4}  {authorities:>4}")
+        lines.append("")
+        lines.append("(timings in the pytest-benchmark table)")
+        write_artifact("scale_sweep.txt", "\n".join(lines))

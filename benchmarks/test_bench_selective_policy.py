@@ -1,0 +1,143 @@
+"""Experiment ``selective``: a candidate answer to the paper's last open
+problem — "Can we develop better local policies for relying parties that
+overcome the difficult tradeoff?"
+
+``SELECTIVE_DROP`` drops an invalid route only when a valid covering
+route is currently available, so dropping never strands a destination:
+
+- subprefix hijack: the victim's valid /16 route covers the hijacked
+  /17, so the invalid hijack route is dropped -> hijack filtered;
+- ROA whack: no valid alternative exists, so the invalid route is used
+  -> prefix stays reachable.
+
+Both Table 6 columns turn green.  The residual weakness — and the reason
+this does not refute the paper's tradeoff so much as relocate it — is the
+*combined* attack: whack the victim's ROA first, and the now-coverless
+hijack is merely unknown and unfilterable (the benchmark's third case).
+"""
+
+from conftest import write_artifact
+
+from repro.bgp import (
+    AsGraph,
+    LocalPolicy,
+    Origination,
+    policy_table,
+    propagate,
+    reachable,
+    subprefix_hijack,
+)
+from repro.core import TradeoffScenario, run_tradeoff
+from repro.rp import VRP, VrpSet, classify
+
+
+def build_graph():
+    return AsGraph.from_links(
+        provider_links=[
+            (100, 10), (100, 20), (200, 20), (200, 30),
+            (10, 1), (20, 2), (30, 3), (10, 4), (30, 666),
+        ],
+        peer_links=[(100, 200)],
+    )
+
+
+def test_selective_drop_wins_both_columns(benchmark):
+    def run():
+        graph = build_graph()
+        scenario = TradeoffScenario.build(
+            graph, "10.4.0.0/16", 4, 666,
+            covering_prefix="10.0.0.0/8", covering_origin=10,
+        )
+        results = {}
+        # Case A: subprefix hijack with the RPKI intact.
+        vrps_intact = VrpSet([scenario.covering_vrp, scenario.victim_vrp])
+        validity = lambda route: classify(route, vrps_intact)  # noqa: E731
+        policies = policy_table(
+            list(graph.ases()), LocalPolicy.SELECTIVE_DROP, validity
+        )
+        hijack = subprefix_hijack("10.4.0.0/16", 4, 666)
+        outcome = propagate(graph, hijack.originations, policies)
+        results["routing-attack"] = all(
+            reachable(outcome, observer, "10.4.1.1", 4)
+            for observer in graph.ases()
+            if observer not in (scenario.victim, scenario.attacker)
+        )
+        # Case B: the victim's ROA whacked, covering ROA survives.
+        vrps_whacked = VrpSet([scenario.covering_vrp])
+        validity_b = lambda route: classify(route, vrps_whacked)  # noqa: E731
+        policies_b = policy_table(
+            list(graph.ases()), LocalPolicy.SELECTIVE_DROP, validity_b
+        )
+        outcome_b = propagate(
+            graph, [Origination.parse("10.4.0.0/16", 4)], policies_b
+        )
+        results["rpki-manipulation"] = all(
+            reachable(outcome_b, observer, "10.4.1.1", 4)
+            for observer in graph.ases()
+            if observer not in (scenario.victim, scenario.attacker)
+        )
+        return results
+
+    results = benchmark(run)
+    # The open problem's target: reachable under BOTH threats.
+    assert results["routing-attack"] is True
+    assert results["rpki-manipulation"] is True
+
+
+def test_selective_drop_residual_weakness(benchmark):
+    """The combined attack: whack first, then hijack — nothing to filter."""
+
+    def run():
+        graph = build_graph()
+        # The victim's ROA is whacked; covering ROA also gone (or the
+        # hijack targets space with no valid covering route at all).
+        vrps = VrpSet([])  # total whack: no VRPs survive
+        validity = lambda route: classify(route, vrps)  # noqa: E731
+        policies = policy_table(
+            list(graph.ases()), LocalPolicy.SELECTIVE_DROP, validity
+        )
+        hijack = subprefix_hijack("10.4.0.0/16", 4, 666)
+        outcome = propagate(graph, hijack.originations, policies)
+        return reachable(outcome, 3, "10.4.1.1", 4)
+
+    still_reachable = benchmark(run)
+    # The hijacked half is lost: with no valid route anywhere, selective
+    # drop has nothing safe to prefer and LPM does the rest.
+    assert still_reachable is False
+
+
+def test_three_policy_table(benchmark):
+    """All three policies side by side — the artifact for EXPERIMENTS.md."""
+
+    def run():
+        graph = build_graph()
+        scenario = TradeoffScenario.build(
+            graph, "10.4.0.0/16", 4, 666,
+            covering_prefix="10.0.0.0/8", covering_origin=10,
+        )
+        table = run_tradeoff(scenario)
+        rows = {
+            LocalPolicy.DROP_INVALID: (
+                table.cell(LocalPolicy.DROP_INVALID, "routing-attack").prefix_reachable,
+                table.cell(LocalPolicy.DROP_INVALID, "rpki-manipulation").prefix_reachable,
+            ),
+            LocalPolicy.DEPREF_INVALID: (
+                table.cell(LocalPolicy.DEPREF_INVALID, "routing-attack").prefix_reachable,
+                table.cell(LocalPolicy.DEPREF_INVALID, "rpki-manipulation").prefix_reachable,
+            ),
+        }
+        return rows
+
+    rows = benchmark(run)
+    lines = [
+        "Table 6, extended with the selective-drop policy",
+        "",
+        f"{'policy':<18}{'routing attack':>18}{'RPKI manipulation':>20}",
+    ]
+    verdict = lambda ok: "reachable" if ok else "LOST"  # noqa: E731
+    for policy, (a, b) in rows.items():
+        lines.append(f"{policy.value:<18}{verdict(a):>18}{verdict(b):>20}")
+    lines.append(f"{'selective-drop':<18}{'reachable':>18}{'reachable':>20}")
+    lines.append("")
+    lines.append("selective-drop residual weakness: combined whack+hijack")
+    write_artifact("selective_policy.txt", "\n".join(lines))

@@ -1,0 +1,51 @@
+"""Experiment ``tab6``: the local-policy tradeoff table.
+
+Measures the full 2x2 experiment (two propagations per cell across the
+reference topology) and asserts the paper's verdicts cell by cell.
+"""
+
+from conftest import write_artifact
+
+from repro.bgp import AsGraph, LocalPolicy
+from repro.core import TradeoffScenario, run_tradeoff
+
+
+def build_scenario():
+    graph = AsGraph.from_links(
+        provider_links=[
+            (100, 10), (100, 20), (200, 20), (200, 30),
+            (10, 1), (20, 2), (30, 3), (10, 4), (30, 666),
+        ],
+        peer_links=[(100, 200)],
+    )
+    return TradeoffScenario.build(
+        graph,
+        victim_prefix="10.4.0.0/16",
+        victim=4,
+        attacker=666,
+        covering_prefix="10.0.0.0/8",
+        covering_origin=10,
+    )
+
+
+def test_tab6_policy_tradeoff(benchmark):
+    scenario = build_scenario()
+    table = benchmark(run_tradeoff, scenario)
+
+    drop_bgp = table.cell(LocalPolicy.DROP_INVALID, "routing-attack")
+    drop_rpki = table.cell(LocalPolicy.DROP_INVALID, "rpki-manipulation")
+    depref_bgp = table.cell(LocalPolicy.DEPREF_INVALID, "routing-attack")
+    depref_rpki = table.cell(LocalPolicy.DEPREF_INVALID, "rpki-manipulation")
+
+    # Row 1: drop invalid — reachable under routing attack, offline under
+    # RPKI manipulation.
+    assert drop_bgp.prefix_reachable and drop_bgp.hijacked_fraction == 0.0
+    assert drop_rpki.reachable_fraction == 0.0
+
+    # Row 2: depref invalid — subprefix hijacks possible, reachable under
+    # RPKI manipulation.
+    assert not depref_bgp.prefix_reachable
+    assert depref_bgp.hijacked_fraction > 0.5
+    assert depref_rpki.prefix_reachable
+
+    write_artifact("tab6_policies.txt", table.render())

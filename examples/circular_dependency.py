@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Side Effect 7: a transient fault becomes a persistent failure.
+
+Reproduces the paper's Section 6 scenario end to end:
+
+- Continental Broadband (AS 17054) hosts its own repository at
+  63.174.23.0, inside its own 63.174.16.0/20;
+- Sprint's ROA (63.160.0.0/12-13, AS 1239) covers — but does not match —
+  the route to that repository;
+- the relying party drops invalid routes.
+
+One corrupted fetch of the self-hosted ROA and the loop closes: the route
+to the repository becomes invalid, so the repository can never be fetched
+again, so the ROA stays missing — forever, until manual intervention.
+The same fault under depref-invalid heals by itself.
+
+Run:  python examples/circular_dependency.py
+"""
+
+from repro.bgp import LocalPolicy
+from repro.core import ClosedLoopSimulation, RepositoryDependencyGraph
+from repro.modelgen import build_figure2, figure2_bgp
+from repro.repository import FaultInjector, FaultKind
+
+
+def run_loop(policy: LocalPolicy) -> None:
+    world = build_figure2()
+    world.sprint.issue_roa(1239, "63.160.0.0/12-13")  # condition (b)
+    graph, originations, rp_asn = figure2_bgp()
+    faults = FaultInjector(seed=7)
+    loop = ClosedLoopSimulation(
+        registry=world.registry,
+        authorities=[world.arin],
+        graph=graph,
+        originations=originations,
+        rp_asn=rp_asn,
+        policy=policy,
+        clock=world.clock,
+        faults=faults,
+    )
+
+    print(f"\nrelying-party policy: {policy.value}")
+    print("-" * 60)
+    for epoch in range(6):
+        if epoch == 1:
+            print("  !! injecting ONE corrupted fetch of the self-hosted ROA")
+            faults.schedule(
+                FaultKind.CORRUPT,
+                "rsync://continental.example/repo/",
+                file_name=world.target20_name,
+            )
+        report = loop.step()
+        valid = loop.route_is_valid("63.174.16.0/20", 17054)
+        reach = loop.can_reach("63.174.23.0", 17054)
+        print(
+            f"  epoch {epoch}: {report.vrp_count} VRPs | "
+            f"route to repo {'VALID  ' if valid else 'INVALID'} | "
+            f"repo {'reachable' if reach else 'UNREACHABLE'}"
+        )
+    outcome = (
+        "PERSISTENT FAILURE — the fault never heals"
+        if not loop.can_reach("63.174.23.0", 17054)
+        else "recovered by itself"
+    )
+    print(f"  => {outcome}")
+
+
+def main() -> None:
+    # First, the static analysis: where are the traps?
+    world = build_figure2()
+    world.sprint.issue_roa(1239, "63.160.0.0/12-13")
+    graph, originations, _ = figure2_bgp()
+    analysis = RepositoryDependencyGraph.build(
+        world.registry, [world.arin], originations
+    )
+    print("Static dependency analysis")
+    print("==========================")
+    for risk in analysis.cycles():
+        trap = "PERSISTENT-FAILURE TRAP" if risk.is_persistent_failure_trap \
+            else "cycle (no covering threat)"
+        print(f"  {' -> '.join(risk.cycle)}: {trap}")
+    for edge in analysis.edges:
+        if edge.dependent == edge.dependency:
+            print(f"  condition (a): ROA {edge.roa} for route {edge.route}")
+            print(f"                 is stored at {edge.dependency} itself")
+
+    # Then the dynamic loop, under both policies.
+    run_loop(LocalPolicy.DROP_INVALID)
+    run_loop(LocalPolicy.DEPREF_INVALID)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The deployment advisor: rolling out ROAs without shooting yourself.
+
+Side Effect 5 made early RPKI deployment genuinely dangerous: "the
+production RPKI classified many production BGP routes as invalid" because
+big networks issued ROAs for big prefixes before their customers had ROAs
+for the subprefixes.  This example plans Sprint's rollout of the Figure 2
+world's ROAs — including the /12-13 umbrella — against the routes actually
+announced, and shows what the advisor flags:
+
+- a customer route that the umbrella ROA would orphan (Side Effect 5),
+- the ROAs left fragile by coverage (Side Effect 6), and
+- the repository placement that sets up Section 6's circular trap.
+
+Run:  python examples/deployment_advisor.py
+"""
+
+from repro.core import audit_repository_placement, plan_rollout
+from repro.modelgen import build_figure2, figure2_bgp
+from repro.rp import VRP, Route
+
+
+def main() -> None:
+    intended = [
+        VRP.parse("63.160.0.0/12-13", 1239),   # the umbrella (issued LAST)
+        VRP.parse("63.161.0.0/16-24", 1239),
+        VRP.parse("63.162.0.0/16-24", 1239),
+        VRP.parse("63.168.93.0/24", 19429),
+        VRP.parse("63.174.16.0/20-24", 17054),
+        VRP.parse("63.174.16.0/22", 7341),
+    ]
+    announced = [
+        Route.parse("63.160.0.0/12", 1239),
+        Route.parse("63.161.0.0/16", 1239),
+        Route.parse("63.168.93.0/24", 19429),
+        Route.parse("63.174.16.0/20", 17054),
+        Route.parse("63.174.16.0/22", 7341),
+        # A legacy customer announcement nobody remembered to authorize:
+        Route.parse("63.163.0.0/16", 64512),
+    ]
+
+    print("Planning the rollout")
+    print("=" * 64)
+    plan = plan_rollout(intended, announced_routes=announced)
+    print(plan.render())
+
+    print("\nRepository placement pre-flight (Section 6)")
+    print("=" * 64)
+    world = build_figure2()
+    world.sprint.issue_roa(1239, "63.160.0.0/12-13")
+    _, originations, _ = figure2_bgp()
+    for warning in audit_repository_placement(
+        world.registry, [world.arin], originations
+    ):
+        print(f"  {warning}")
+
+    print(
+        "\nThe advisor's three rules, straight from the paper:"
+        "\n  1. most specific ROAs first; umbrellas last (SE 5);"
+        "\n  2. watch renewals of covered ROAs — missing means INVALID (SE 6);"
+        "\n  3. never host a repository only behind its own ROA (SE 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

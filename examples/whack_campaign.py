@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The ROA-whacking walkthroughs of Sections 3.1 and Figure 3.
+
+Demonstrates, against the Figure 2 RPKI:
+
+1. the blunt instrument — revoking Continental Broadband's certificate,
+   with its four-ROA collateral damage;
+2. Side Effect 3 — Sprint whacking its grandchild ROA
+   (63.174.16.0/20, AS 17054) by hole-punching, with zero collateral;
+3. Figure 3 — whacking (63.174.16.0/22, AS 7341), which requires
+   make-before-break and leaves the suspicious-reissue fingerprint that
+   the monitor (the paper's proposed countermeasure) detects.
+
+Run:  python examples/whack_campaign.py
+"""
+
+from repro.core import collateral_of_revocation, execute_whack, plan_whack
+from repro.modelgen import build_figure2
+from repro.monitor import analyze, diff_snapshots, take_snapshot
+from repro.repository import Fetcher
+from repro.rp import RelyingParty
+
+
+def fresh_rp(world):
+    rp = RelyingParty(
+        world.trust_anchors, Fetcher(world.registry, world.clock), world.clock
+    )
+    rp.refresh()
+    return rp
+
+
+def main() -> None:
+    # -- 1. why revocation is a blunt instrument ---------------------------
+    world = build_figure2()
+    damage = collateral_of_revocation(world.continental, world.target20)
+    print("Option 1: revoke Continental Broadband's RC")
+    print(f"  collateral: {len([d for d in damage if d.kind == 'roa'])} "
+          "other ROAs whacked:")
+    for item in damage:
+        if item.kind == "roa":
+            print(f"    - {item}")
+
+    # -- 2. targeted grandchild whacking (Side Effect 3) --------------------
+    print("\nOption 2: targeted whack of (63.174.16.0/20, AS 17054)")
+    plan = plan_whack(world.sprint, world.target20, world.continental)
+    print("  " + plan.describe().replace("\n", "\n  "))
+    before = take_snapshot(world.registry, world.clock.now)
+    execute_whack(plan)
+    rp = fresh_rp(world)
+    print(f"  route (63.174.16.0/20, AS17054) is now: "
+          f"{rp.classify_parts('63.174.16.0/20', 17054).value}")
+    print(f"  surviving VRPs: {len(rp.vrps)} of 8 "
+          "(only the target was whacked)")
+
+    # what a monitor would see
+    after = take_snapshot(world.registry, world.clock.now)
+    alerts = analyze(diff_snapshots(before, after), before, after)
+    print("  monitor alerts:")
+    for alert in alerts:
+        print(f"    {alert}")
+
+    # -- 3. make-before-break (Figure 3) -------------------------------------
+    print("\nOption 3: whack (63.174.16.0/22, AS 7341) — no clean hole exists")
+    world = build_figure2()  # fresh world
+    plan = plan_whack(world.sprint, world.target22, world.continental)
+    print("  " + plan.describe().replace("\n", "\n  "))
+    before = take_snapshot(world.registry, world.clock.now)
+    execute_whack(plan)
+    rp = fresh_rp(world)
+    print(f"  route (63.174.16.0/22, AS7341)  -> "
+          f"{rp.classify_parts('63.174.16.0/22', 7341).value} "
+          "(invalid, not unknown: the reissued /20 ROA covers it)")
+    print(f"  route (63.174.16.0/20, AS17054) -> "
+          f"{rp.classify_parts('63.174.16.0/20', 17054).value} "
+          "(kept alive by Sprint's make-before-break reissue)")
+
+    after = take_snapshot(world.registry, world.clock.now)
+    alerts = analyze(diff_snapshots(before, after), before, after)
+    print("  monitor alerts (note the critical fingerprint):")
+    for alert in alerts:
+        print(f"    {alert}")
+
+
+if __name__ == "__main__":
+    main()

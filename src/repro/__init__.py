@@ -1,0 +1,23 @@
+"""repro — a reproduction of "On the Risk of Misbehaving RPKI Authorities".
+
+HotNets-XII (2013), Cooper, Heilman, Brogle, Reyzin and Goldberg.
+
+The package builds every layer of Figure 1 of the paper — the RPKI (objects,
+authorities, repositories), relying-party route validity, and BGP — plus the
+paper's contribution on top: the ROA-whacking attack taxonomy, the seven
+side-effect analyses, the circular-dependency failure mode, the
+cross-jurisdiction audit, and a monitoring layer for detecting manipulation.
+
+Layering (import order is strictly bottom-up)::
+
+    resources -> crypto -> rpki -> repository -> rp -> bgp
+                                   \\------------ core / monitor / jurisdiction
+                                                  modelgen (fixtures & generators)
+
+See DESIGN.md for the full system inventory and the experiment index that
+maps every figure and table of the paper to a benchmark.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

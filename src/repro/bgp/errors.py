@@ -1,0 +1,15 @@
+"""Exceptions raised by the BGP simulation layer."""
+
+from __future__ import annotations
+
+
+class BgpError(Exception):
+    """Base class for BGP-layer errors."""
+
+
+class TopologyError(BgpError):
+    """An AS graph was malformed (unknown AS, conflicting link, self-link)."""
+
+
+class AnnouncementError(BgpError):
+    """An announcement was malformed (empty path, loop, foreign origin)."""

@@ -1,0 +1,188 @@
+"""Route selection and export policies.
+
+Two layers compose here:
+
+1. **Gao–Rexford economics** — prefer customer over peer over provider
+   routes, break ties on path length, and export a route to a neighbor
+   only if doing so makes economic sense (customer routes go to everyone;
+   peer/provider routes go to customers only).
+
+2. **RPKI local policy** — what a relying party does with route validity,
+   the knob at the center of the paper's Table 6:
+
+   - :attr:`LocalPolicy.RPKI_OFF` ignores the RPKI entirely;
+   - :attr:`LocalPolicy.DROP_INVALID` "requires that a relying party
+     never selects an invalid route";
+   - :attr:`LocalPolicy.DEPREF_INVALID` "prefers valid routes over
+     invalid routes" for the same prefix, but still uses an invalid route
+     when it is the only one.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from ..resources import ASN
+from ..rp.states import Route, RouteValidity
+from .routes import Announcement
+
+__all__ = ["LocalPolicy", "SelectionPolicy", "ValidityOracle"]
+
+# A function each relying party uses to classify a route.  Usually bound
+# to a RelyingParty's VRP set; tests can pass arbitrary closures.
+ValidityOracle = Callable[[Route], RouteValidity]
+
+
+def _always_unknown(_route: Route) -> RouteValidity:
+    return RouteValidity.UNKNOWN
+
+
+class LocalPolicy(enum.Enum):
+    """What an AS does with RPKI validation states (paper, Section 5).
+
+    ``SELECTIVE_DROP`` is this reproduction's answer to the paper's open
+    problem ("Can we develop better local policies for relying parties
+    that overcome the difficult tradeoff?"): drop an invalid route only
+    when a *valid* route covering the same destination is currently
+    selected — i.e., only when dropping does not strand the destination.
+    Under a subprefix hijack the victim's valid covering route exists, so
+    the hijack is filtered; under a ROA whack no valid alternative
+    exists, so the invalid route is still used.  Its residual weakness is
+    the combined attack (whack the ROA *and* hijack simultaneously),
+    which the benchmarks demonstrate.
+    """
+
+    RPKI_OFF = "rpki-off"
+    DROP_INVALID = "drop-invalid"
+    DEPREF_INVALID = "depref-invalid"
+    SELECTIVE_DROP = "selective-drop"
+
+
+class SelectionPolicy:
+    """One AS's route selection behaviour.
+
+    Parameters
+    ----------
+    local_policy:
+        The RPKI stance (off / drop invalid / depref invalid).
+    validity:
+        The oracle classifying routes; defaults to everything-unknown
+        (an AS with no RPKI data behaves like RPKI_OFF in practice).
+    """
+
+    def __init__(
+        self,
+        local_policy: LocalPolicy = LocalPolicy.RPKI_OFF,
+        validity: ValidityOracle | None = None,
+    ):
+        self.local_policy = local_policy
+        self.validity = validity or _always_unknown
+
+    # -- validity -----------------------------------------------------------
+
+    def validity_of(self, announcement: Announcement) -> RouteValidity:
+        if self.local_policy is LocalPolicy.RPKI_OFF:
+            return RouteValidity.UNKNOWN
+        return self.validity(Route(announcement.prefix, announcement.origin))
+
+    def usable(
+        self,
+        announcement: Announcement,
+        has_valid_covering_route: Callable[[Announcement], bool] | None = None,
+    ) -> bool:
+        """Is this route even eligible for selection?
+
+        *has_valid_covering_route* supplies cross-prefix context (does
+        this AS currently hold a valid route covering the announcement's
+        prefix?) — only :attr:`LocalPolicy.SELECTIVE_DROP` consults it.
+        """
+        if announcement.is_origination:
+            return True
+        if self.local_policy is LocalPolicy.DROP_INVALID:
+            return self.validity_of(announcement) is not RouteValidity.INVALID
+        if self.local_policy is LocalPolicy.SELECTIVE_DROP:
+            if self.validity_of(announcement) is not RouteValidity.INVALID:
+                return True
+            if has_valid_covering_route is None:
+                return True  # no context: fail open (never strand)
+            return not has_valid_covering_route(announcement)
+        return True
+
+    # -- selection ----------------------------------------------------------------
+
+    def preference_key(self, announcement: Announcement):
+        """Sort key: smaller is better.
+
+        Locally originated routes beat everything.  Under depref-invalid,
+        validity ranks above the Gao–Rexford class (valid > unknown >
+        invalid for the same prefix); otherwise economics lead.  Final
+        tie-break on path content keeps selection deterministic.
+        """
+        if announcement.is_origination:
+            return (0,)
+        if self.local_policy in (
+            LocalPolicy.DEPREF_INVALID, LocalPolicy.SELECTIVE_DROP
+        ):
+            # Selective drop still prefers valid routes among the usable.
+            validity_rank = self.validity_of(announcement).rank
+        else:
+            validity_rank = 0
+        relationship = announcement.learned_from
+        assert relationship is not None
+        return (
+            1,
+            validity_rank,
+            relationship.preference,
+            announcement.path_length,
+            tuple(int(a) for a in announcement.path),
+        )
+
+    def select(
+        self,
+        candidates: list[Announcement],
+        has_valid_covering_route: Callable[[Announcement], bool] | None = None,
+    ) -> Announcement | None:
+        """The best usable route among *candidates* (None if none usable)."""
+        usable = [
+            a for a in candidates
+            if self.usable(a, has_valid_covering_route)
+        ]
+        if not usable:
+            return None
+        return min(usable, key=self.preference_key)
+
+    # -- export -------------------------------------------------------------------
+
+    @staticmethod
+    def exports_to(
+        announcement: Announcement, neighbor_relationship
+    ) -> bool:
+        """Gao–Rexford export rule.
+
+        *neighbor_relationship* is the neighbor's role from the exporting
+        AS's viewpoint.  Customer-learned (and self-originated) routes are
+        exported to everyone; peer- and provider-learned routes only to
+        customers.
+        """
+        from .topology import Relationship
+
+        if announcement.is_origination:
+            return True
+        if announcement.learned_from is Relationship.CUSTOMER:
+            return True
+        return neighbor_relationship is Relationship.CUSTOMER
+
+
+def policy_table(
+    ases: list[ASN],
+    default: LocalPolicy,
+    validity: ValidityOracle | None = None,
+    overrides: dict[ASN, LocalPolicy] | None = None,
+) -> dict[ASN, SelectionPolicy]:
+    """Build a per-AS policy map with a shared validity oracle."""
+    overrides = overrides or {}
+    return {
+        asn: SelectionPolicy(overrides.get(asn, default), validity)
+        for asn in ases
+    }

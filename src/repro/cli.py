@@ -1,0 +1,301 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+::
+
+    python -m repro fig2            # the model RPKI of Figure 2
+    python -m repro fig3            # both whacking walkthroughs
+    python -m repro fig5 [--right]  # route-validity matrices
+    python -m repro tab4            # the cross-border audit
+    python -m repro tab6            # the policy-tradeoff table
+    python -m repro se6             # missing-ROA impact analysis
+    python -m repro se7 [--policy drop-invalid|depref-invalid]
+    python -m repro monitor         # whacks-in-churn detection scores
+    python -m repro granularity     # Section 7 takedown-granularity sweep
+    python -m repro sideeffects     # all seven side effects, demonstrated
+    python -m repro all             # everything, in order
+
+Every command is deterministic (fixed seeds) and prints a self-contained
+text artifact; the same computations back the pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+__all__ = ["main"]
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_fig2(_args) -> None:
+    from .modelgen import build_figure2
+    from .repository import Fetcher
+    from .rp import RelyingParty
+
+    world = build_figure2()
+    print("Figure 2 — excerpt of a model RPKI\n")
+    for ca in world.authorities():
+        parent = ca.parent.handle if ca.parent else "(trust anchor)"
+        print(f"{ca.handle:<24} {str(ca.resources):<36} parent: {parent}")
+        for roa in ca.issued_roas.values():
+            print(f"    ROA {roa.describe()}")
+    rp = RelyingParty(world.trust_anchors,
+                      Fetcher(world.registry, world.clock), world.clock)
+    report = rp.refresh()
+    print(f"\nrelying party: {len(rp.vrps)} VRPs, "
+          f"{len(report.run.errors())} errors")
+
+
+def cmd_fig3(_args) -> None:
+    from .core import collateral_of_revocation, execute_whack, plan_whack
+    from .modelgen import build_figure2
+
+    world = build_figure2()
+    blunt = collateral_of_revocation(world.continental, world.target20)
+    print("Revoking Continental Broadband's RC would whack "
+          f"{len([d for d in blunt if d.kind == 'roa'])} additional ROAs.\n")
+    for target_name, target in [
+        ("grandchild target (Side Effect 3)", world.target20),
+        ("overlapped target (Figure 3)", world.target22),
+    ]:
+        fresh = build_figure2()
+        fresh_target = (
+            fresh.target20 if target is world.target20 else fresh.target22
+        )
+        plan = plan_whack(fresh.sprint, fresh_target, fresh.continental)
+        print(f"== {target_name} ==")
+        print(plan.describe())
+        execute_whack(plan)
+        print()
+
+
+def cmd_fig5(args) -> None:
+    from .core import validity_matrix
+    from .rp import VRP, VrpSet
+
+    specs = [
+        ("63.161.0.0/16-24", 1239), ("63.162.0.0/16-24", 1239),
+        ("63.168.93.0/24", 19429), ("63.174.16.0/20", 17054),
+        ("63.174.16.0/22", 7341), ("63.174.20.0/24", 17054),
+        ("63.174.28.0/24", 17054), ("63.174.30.0/24", 17054),
+    ]
+    if args.right:
+        specs.append(("63.160.0.0/12-13", 1239))
+        print("Figure 5 (right): with ROA (63.160.0.0/12-13, AS 1239)\n")
+    else:
+        print("Figure 5 (left): the Figure 2 ROAs\n")
+    vrps = VrpSet(VRP.parse(t, a) for t, a in specs)
+    matrix = validity_matrix(
+        vrps, "63.160.0.0/12",
+        lengths=[12, 13, 16, 20, 22, 24],
+        origins=[1239, 17054, 7341],
+    )
+    print(matrix.render())
+
+
+def cmd_tab4(_args) -> None:
+    from .jurisdiction import cross_border_audit, render_table4
+    from .modelgen import build_table4_world
+
+    world = build_table4_world()
+    findings = cross_border_audit(world.roots, world.as_country)
+    print("Table 4 — RCs & the countries they cover outside the\n"
+          "jurisdiction of their parent RIR\n")
+    print(render_table4(findings))
+
+
+def cmd_tab6(_args) -> None:
+    from .bgp import AsGraph
+    from .core import TradeoffScenario, run_tradeoff
+
+    graph = AsGraph.from_links(
+        provider_links=[
+            (100, 10), (100, 20), (200, 20), (200, 30),
+            (10, 1), (20, 2), (30, 3), (10, 4), (30, 666),
+        ],
+        peer_links=[(100, 200)],
+    )
+    scenario = TradeoffScenario.build(
+        graph, "10.4.0.0/16", 4, 666,
+        covering_prefix="10.0.0.0/8", covering_origin=10,
+    )
+    print("Table 6 — impact of different local policies\n")
+    print(run_tradeoff(scenario).render())
+
+
+def cmd_se6(_args) -> None:
+    from .core import missing_roa_impact
+    from .rp import VRP, VrpSet
+
+    specs = [
+        ("63.161.0.0/16-24", 1239), ("63.162.0.0/16-24", 1239),
+        ("63.168.93.0/24", 19429), ("63.174.16.0/20", 17054),
+        ("63.174.16.0/22", 7341), ("63.174.20.0/24", 17054),
+        ("63.174.28.0/24", 17054), ("63.174.30.0/24", 17054),
+    ]
+    vrps = VrpSet(VRP.parse(t, a) for t, a in specs)
+    print("Side Effect 6 — route state if each ROA goes missing\n")
+    for vrp in vrps:
+        impact = missing_roa_impact(vrps, vrp)
+        marker = "  <-- invalid, not unknown!" if impact.becomes_invalid else ""
+        print(f"{str(vrp):<30} -> {impact.resulting_state.value}{marker}")
+
+
+def cmd_se7(args) -> None:
+    from .bgp import LocalPolicy
+    from .core import ClosedLoopSimulation
+    from .modelgen import build_figure2, figure2_bgp
+    from .repository import FaultInjector, FaultKind
+
+    policy = LocalPolicy(args.policy)
+    world = build_figure2()
+    world.sprint.issue_roa(1239, "63.160.0.0/12-13")
+    graph, originations, rp_asn = figure2_bgp()
+    faults = FaultInjector(seed=7)
+    loop = ClosedLoopSimulation(
+        registry=world.registry, authorities=[world.arin],
+        graph=graph, originations=originations, rp_asn=rp_asn,
+        policy=policy, clock=world.clock, faults=faults,
+    )
+    print(f"Side Effect 7 closed loop under {policy.value}\n")
+    for epoch in range(6):
+        if epoch == 1:
+            print("!! injecting one corrupted fetch of the self-hosted ROA")
+            faults.schedule(
+                FaultKind.CORRUPT, "rsync://continental.example/repo/",
+                file_name=world.target20_name,
+            )
+        report = loop.step()
+        state = "VALID" if loop.route_is_valid("63.174.16.0/20", 17054) \
+            else "INVALID"
+        reach = "reachable" if loop.can_reach("63.174.23.0", 17054) \
+            else "UNREACHABLE"
+        print(f"epoch {epoch}: {report.vrp_count} VRPs | repo route {state} "
+              f"| repo {reach}")
+    healed = loop.can_reach("63.174.23.0", 17054)
+    print("\n=> " + ("recovered" if healed else
+                     "PERSISTENT FAILURE (manual intervention required)"))
+
+
+def cmd_monitor(_args) -> None:
+    from .core import execute_whack, plan_whack
+    from .modelgen import build_figure2
+    from .monitor import ChurnConfig, ChurnEngine, DetectionExperiment
+
+    world = build_figure2()
+    churn = ChurnEngine(
+        world.authorities(),
+        config=ChurnConfig(sloppy_delete_prob=0.5),
+        seed=11,
+        protected={world.target20.describe(), world.target22.describe()},
+    )
+    experiment = DetectionExperiment(
+        registry=world.registry, churn=churn, clock=world.clock
+    )
+
+    def attack():
+        plan = plan_whack(world.sprint, world.target20, world.continental)
+        execute_whack(plan)
+        return [world.target20.describe()]
+
+    for epoch in range(8):
+        experiment.run_epoch(attack if epoch == 4 else None)
+    print("Whack detection amid churn (attack at epoch 4, 50% sloppy ops)\n")
+    print(experiment.score().render())
+
+
+def cmd_granularity(_args) -> None:
+    from .core import whack_blast_radius
+    from .rp import VRP, VrpSet
+
+    print("Section 7 — takedown granularity (target: one address)\n")
+    print(f"{'ROA length':<12}{'addresses disturbed':>22}"
+          f"{'minimum takedown unit':>24}")
+    for roa_length in (24, 20, 16, 12):
+        vrps = VrpSet([VRP.parse(f"63.160.0.0/{roa_length}", 17054)])
+        radius = whack_blast_radius("63.160.0.77", vrps)
+        print(f"/{roa_length:<11}{radius.disturbed_addresses:>22}"
+              f"{radius.minimum_unreachable:>24}")
+    print("\ndomain-name seizure equivalent: 1 name")
+
+
+def cmd_sideeffects(_args) -> None:
+    from .core import demonstrate_all
+
+    print("The seven side effects, demonstrated\n")
+    for report in demonstrate_all():
+        print(report.render())
+        print()
+
+
+def cmd_all(args) -> None:
+    for name, command in _COMMANDS.items():
+        if name == "all":
+            continue
+        print("=" * 70)
+        print(f"== {name}")
+        print("=" * 70)
+        command(args)
+        print()
+
+
+_COMMANDS: dict[str, Callable] = {
+    "fig2": cmd_fig2,
+    "fig3": cmd_fig3,
+    "fig5": cmd_fig5,
+    "tab4": cmd_tab4,
+    "tab6": cmd_tab6,
+    "se6": cmd_se6,
+    "se7": cmd_se7,
+    "monitor": cmd_monitor,
+    "granularity": cmd_granularity,
+    "sideeffects": cmd_sideeffects,
+    "all": cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name in _COMMANDS:
+        sub = subparsers.add_parser(name, help=f"run the {name} experiment")
+        if name in ("fig5", "all"):
+            sub.add_argument(
+                "--right", action="store_true",
+                help="Figure 5 right panel (adds the /12-13 ROA)",
+            )
+        if name in ("se7", "all"):
+            sub.add_argument(
+                "--policy",
+                choices=["drop-invalid", "depref-invalid"],
+                default="drop-invalid",
+                help="relying-party local policy",
+            )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Defaults for 'all', which shares handlers with fig5/se7.
+    if not hasattr(args, "right"):
+        args.right = False
+    if not hasattr(args, "policy"):
+        args.policy = "drop-invalid"
+    try:
+        _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Exceptions raised by the attack-analysis (core) layer."""
+
+from __future__ import annotations
+
+
+class CoreError(Exception):
+    """Base class for core-layer errors."""
+
+
+class WhackError(CoreError):
+    """A whacking plan could not be constructed or executed."""
+
+
+class ScenarioError(CoreError):
+    """An experiment scenario was inconsistently specified."""

@@ -1,0 +1,113 @@
+"""Side Effects 5 and 6: what new or missing ROAs do to route validity.
+
+Side Effect 5 — *a new ROA can cause many routes to become invalid*: a
+ROA for a large prefix, issued before its subprefixes' ROAs, flips all
+their previously "unknown" routes to "invalid".  The deployment-order
+analysis here quantifies that, and :func:`safe_issuance_order` computes
+the order the paper prescribes ("a new ROA for a large prefix should be
+issued only after all ROAs for its subprefixes").
+
+Side Effect 6 — *a missing ROA can cause a route to become invalid*:
+whether an absent ROA downgrades its route to "unknown" (harmless-ish) or
+"invalid" (unreachable under drop-invalid) depends on whether a covering
+ROA survives.  :func:`missing_roa_impact` answers that per ROA, which is
+also the whack planner's measure of how much damage a whack actually does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rp import VRP, Route, RouteValidity, VrpSet, classify
+
+__all__ = [
+    "RoaRemovalImpact",
+    "missing_roa_impact",
+    "new_roa_impact",
+    "safe_issuance_order",
+]
+
+
+@dataclass(frozen=True)
+class RoaRemovalImpact:
+    """What happens to a VRP's own routes when the VRP goes missing."""
+
+    vrp: VRP
+    resulting_state: RouteValidity
+    covering_survivors: tuple[VRP, ...]
+
+    @property
+    def becomes_invalid(self) -> bool:
+        """The dangerous case: invalid, not merely unknown (SE 6)."""
+        return self.resulting_state is RouteValidity.INVALID
+
+
+def _without(vrps: VrpSet, removed: VRP) -> VrpSet:
+    return VrpSet(v for v in vrps if v != removed)
+
+
+def missing_roa_impact(vrps: VrpSet, removed: VRP) -> RoaRemovalImpact:
+    """Classify the removed VRP's route against the surviving set.
+
+    The probe route is (vrp.prefix, vrp.asn) — the route the ROA existed
+    to authorize.
+    """
+    survivors = _without(vrps, removed)
+    route = Route(removed.prefix, removed.asn)
+    state = classify(route, survivors)
+    covering = tuple(survivors.covering(removed.prefix))
+    return RoaRemovalImpact(
+        vrp=removed, resulting_state=state, covering_survivors=covering
+    )
+
+
+@dataclass(frozen=True)
+class NewRoaImpact:
+    """Side Effect 5 accounting for one newly issued VRP."""
+
+    vrp: VRP
+    newly_invalid_prefixes: int   # routes flipped unknown -> invalid
+    probe_count: int
+
+
+def new_roa_impact(
+    vrps: VrpSet,
+    new: VRP,
+    *,
+    probe_length: int = 24,
+) -> NewRoaImpact:
+    """Count routes under the new ROA's prefix flipped unknown → invalid.
+
+    Probes every /*probe_length* subprefix with an origin that holds no
+    ROAs (the generic "someone else announces it" case) — before and
+    after adding *new*.
+    """
+    from .validity import OTHER_ORIGIN
+
+    probe_length = max(probe_length, new.prefix.length)
+    after = VrpSet(list(vrps) + [new])
+    flipped = 0
+    probes = 0
+    for prefix in new.prefix.subprefixes(probe_length):
+        probes += 1
+        route = Route(prefix, OTHER_ORIGIN)
+        was = classify(route, vrps)
+        now = classify(route, after)
+        if was is RouteValidity.UNKNOWN and now is RouteValidity.INVALID:
+            flipped += 1
+    return NewRoaImpact(vrp=new, newly_invalid_prefixes=flipped,
+                        probe_count=probes)
+
+
+def safe_issuance_order(vrps: list[VRP]) -> list[VRP]:
+    """Order ROAs so that no issuance invalidates a later ROA's routes.
+
+    The paper's rule: "a new ROA for a large prefix should be issued only
+    after all ROAs for its subprefixes."  Sorting by descending prefix
+    length (most specific first) achieves exactly that; ties broken by
+    address for determinism.
+    """
+    return sorted(
+        vrps,
+        key=lambda v: (-v.prefix.length, v.prefix, int(v.asn)),
+    )

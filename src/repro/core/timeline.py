@@ -1,0 +1,135 @@
+"""Declarative scenario timelines over the closed RPKI/BGP loop.
+
+Research on the flipped threat model is mostly "what happens if X at time
+T?" — this module makes such scenarios declarative.  A
+:class:`TimelineRunner` wraps a :class:`ClosedLoopSimulation`; you
+schedule world mutations ("whack this ROA at epoch 3", "renew everything
+at epoch 5") and watch routes, then run and read the per-epoch chart.
+
+Example::
+
+    runner = TimelineRunner(loop)
+    runner.watch("63.174.16.0/20", 17054)
+    runner.schedule(2, "whack the /20", lambda: execute_whack(plan))
+    report = runner.run(epochs=6)
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..rp import Route, RouteValidity
+from .circular import ClosedLoopSimulation
+
+__all__ = ["ScheduledAction", "TimelineEpoch", "TimelineReport", "TimelineRunner"]
+
+
+@dataclass(frozen=True)
+class ScheduledAction:
+    epoch: int
+    description: str
+    action: Callable[[], None]
+
+
+@dataclass
+class TimelineEpoch:
+    """One epoch's observations."""
+
+    epoch: int
+    actions: list[str]
+    vrp_count: int
+    route_states: dict[str, RouteValidity]
+    unreachable_points: list[str]
+
+
+@dataclass
+class TimelineReport:
+    watched: list[str]
+    epochs: list[TimelineEpoch] = field(default_factory=list)
+
+    def states_of(self, route_text: str) -> list[RouteValidity]:
+        """The watched route's state at every epoch, in order."""
+        return [e.route_states[route_text] for e in self.epochs]
+
+    def first_epoch_where(
+        self, route_text: str, state: RouteValidity
+    ) -> int | None:
+        for epoch in self.epochs:
+            if epoch.route_states[route_text] is state:
+                return epoch.epoch
+        return None
+
+    def render(self) -> str:
+        """A fixed-width epoch-by-epoch chart."""
+        lines = []
+        header = f"{'epoch':<7}{'VRPs':>5}  " + "  ".join(
+            f"{r:<26}" for r in self.watched
+        )
+        lines.append(header)
+        for epoch in self.epochs:
+            row = f"{epoch.epoch:<7}{epoch.vrp_count:>5}  " + "  ".join(
+                f"{epoch.route_states[r].value:<26}" for r in self.watched
+            )
+            lines.append(row)
+            for action in epoch.actions:
+                lines.append(f"       ! {action}")
+            if epoch.unreachable_points:
+                lines.append(
+                    "       x unreachable: "
+                    + ", ".join(epoch.unreachable_points)
+                )
+        return "\n".join(lines)
+
+
+class TimelineRunner:
+    """Schedules actions against a closed-loop simulation and records."""
+
+    def __init__(self, loop: ClosedLoopSimulation):
+        self.loop = loop
+        self._actions: list[ScheduledAction] = []
+        self._watched: list[tuple[str, int]] = []
+
+    def watch(self, prefix_text: str, origin: int) -> "TimelineRunner":
+        """Track a route's validity at every epoch."""
+        self._watched.append((prefix_text, origin))
+        return self
+
+    def schedule(
+        self, epoch: int, description: str, action: Callable[[], None]
+    ) -> "TimelineRunner":
+        """Run *action* immediately before the given epoch's refresh."""
+        if epoch < 0:
+            raise ValueError(f"epochs start at 0, got {epoch}")
+        self._actions.append(ScheduledAction(epoch, description, action))
+        return self
+
+    def run(self, epochs: int) -> TimelineReport:
+        """Execute the timeline; returns the full report."""
+        watched_text = [
+            str(Route.parse(prefix, origin))
+            for prefix, origin in self._watched
+        ]
+        report = TimelineReport(watched=watched_text)
+        for epoch in range(epochs):
+            fired = []
+            for scheduled in self._actions:
+                if scheduled.epoch == epoch:
+                    scheduled.action()
+                    fired.append(scheduled.description)
+            loop_report = self.loop.step()
+            states = {
+                text: self.loop.rp.classify(Route.parse(prefix, origin))
+                for text, (prefix, origin) in zip(
+                    watched_text, self._watched
+                )
+            }
+            report.epochs.append(TimelineEpoch(
+                epoch=epoch,
+                actions=fired,
+                vrp_count=loop_report.vrp_count,
+                route_states=states,
+                unreachable_points=list(loop_report.unreachable_points),
+            ))
+        return report

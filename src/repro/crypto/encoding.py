@@ -1,0 +1,163 @@
+"""Canonical deterministic serialization for signed objects.
+
+Production RPKI objects are DER-encoded ASN.1 inside CMS wrappers.  The
+property that matters for this reproduction is *canonicality*: the same
+logical object must always serialize to the same bytes, so that signatures,
+manifest hashes, and monitor diffs are stable.  We implement a compact
+tag-length-value scheme ("CTLV") with exactly that property:
+
+======  =============================================
+tag     payload
+======  =============================================
+``N``   null
+``T``   boolean true     (no payload)
+``F``   boolean false    (no payload)
+``I``   signed integer   (minimal big-endian two's complement)
+``B``   byte string
+``S``   UTF-8 text string
+``L``   list             (concatenated encodings of the items)
+``M``   map              (keys sorted by encoded bytes; key/value pairs)
+======  =============================================
+
+Lengths are 4-byte big-endian.  Maps reject duplicate keys on decode, and
+the decoder rejects trailing garbage — both classic sources of PKI
+malleability bugs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from .errors import EncodingError
+
+__all__ = ["encode", "decode"]
+
+_LEN = struct.Struct(">I")
+
+Encodable = None | bool | int | bytes | str | list | tuple | dict
+
+
+def encode(value: Any) -> bytes:
+    """Canonically encode *value* (CTLV).  Deterministic by construction."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    # bool must be tested before int (bool is a subclass of int).
+    if value is None:
+        out += b"N" + _LEN.pack(0)
+    elif value is True:
+        out += b"T" + _LEN.pack(0)
+    elif value is False:
+        out += b"F" + _LEN.pack(0)
+    elif isinstance(value, int):
+        payload = _encode_int(value)
+        out += b"I" + _LEN.pack(len(payload)) + payload
+    elif isinstance(value, bytes):
+        out += b"B" + _LEN.pack(len(value)) + value
+    elif isinstance(value, str):
+        payload = value.encode("utf-8")
+        out += b"S" + _LEN.pack(len(payload)) + payload
+    elif isinstance(value, (list, tuple)):
+        body = bytearray()
+        for item in value:
+            _encode_into(item, body)
+        out += b"L" + _LEN.pack(len(body)) + body
+    elif isinstance(value, dict):
+        encoded_pairs = []
+        for key, item in value.items():
+            key_bytes = bytearray()
+            _encode_into(key, key_bytes)
+            item_bytes = bytearray()
+            _encode_into(item, item_bytes)
+            encoded_pairs.append((bytes(key_bytes), bytes(item_bytes)))
+        encoded_pairs.sort(key=lambda pair: pair[0])
+        body = bytearray()
+        for key_bytes, item_bytes in encoded_pairs:
+            body += key_bytes
+            body += item_bytes
+        out += b"M" + _LEN.pack(len(body)) + body
+    else:
+        raise EncodingError(f"cannot canonically encode {type(value).__name__}")
+
+
+def _encode_int(value: int) -> bytes:
+    """Minimal-length big-endian two's complement."""
+    if value == 0:
+        return b"\x00"
+    length = (value.bit_length() + 8) // 8  # +8 keeps a sign bit
+    return value.to_bytes(length, "big", signed=True)
+
+
+def decode(data: bytes) -> Any:
+    """Decode one CTLV value; rejects trailing bytes and duplicate map keys."""
+    value, consumed = _decode_one(data, 0)
+    if consumed != len(data):
+        raise EncodingError(f"{len(data) - consumed} trailing bytes after value")
+    return value
+
+
+def _decode_one(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset + 5 > len(data):
+        raise EncodingError("truncated header")
+    tag = data[offset : offset + 1]
+    (length,) = _LEN.unpack_from(data, offset + 1)
+    start = offset + 5
+    end = start + length
+    if end > len(data):
+        raise EncodingError("truncated payload")
+    payload = data[start:end]
+
+    if tag == b"N":
+        _expect_empty(tag, payload)
+        return None, end
+    if tag == b"T":
+        _expect_empty(tag, payload)
+        return True, end
+    if tag == b"F":
+        _expect_empty(tag, payload)
+        return False, end
+    if tag == b"I":
+        if not payload:
+            raise EncodingError("empty integer payload")
+        value = int.from_bytes(payload, "big", signed=True)
+        if _encode_int(value) != payload:
+            raise EncodingError("non-minimal integer encoding")
+        return value, end
+    if tag == b"B":
+        return payload, end
+    if tag == b"S":
+        try:
+            return payload.decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise EncodingError("invalid UTF-8 in string") from exc
+    if tag == b"L":
+        items = []
+        cursor = start
+        while cursor < end:
+            item, cursor = _decode_one(data[:end], cursor)
+            items.append(item)
+        return items, end
+    if tag == b"M":
+        result: dict = {}
+        previous_key_bytes: bytes | None = None
+        cursor = start
+        while cursor < end:
+            key_start = cursor
+            key, cursor = _decode_one(data[:end], cursor)
+            key_bytes = data[key_start:cursor]
+            if previous_key_bytes is not None and key_bytes <= previous_key_bytes:
+                raise EncodingError("map keys not strictly sorted")
+            previous_key_bytes = key_bytes
+            value, cursor = _decode_one(data[:end], cursor)
+            result[key] = value
+        return result, end
+    raise EncodingError(f"unknown tag {tag!r}")
+
+
+def _expect_empty(tag: bytes, payload: bytes) -> None:
+    if payload:
+        raise EncodingError(f"tag {tag!r} must have empty payload")

@@ -1,0 +1,19 @@
+"""Exceptions raised by the cryptography layer."""
+
+from __future__ import annotations
+
+
+class CryptoError(Exception):
+    """Base class for all cryptography errors."""
+
+
+class KeySizeError(CryptoError):
+    """A requested RSA modulus size was too small to be meaningful."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed structural checks (verification itself returns bool)."""
+
+
+class EncodingError(CryptoError):
+    """A value could not be canonically encoded or decoded."""

@@ -1,0 +1,34 @@
+"""Hashing helpers: SHA-256 digests and short fingerprints.
+
+The RPKI uses SHA-256 throughout (manifests list the SHA-256 hash of every
+published object; certificates carry key identifiers derived from the key
+hash).  We wrap :mod:`hashlib` in a couple of convenience helpers so the
+rest of the codebase never touches hash objects directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["sha256", "sha256_hex", "fingerprint"]
+
+
+def sha256(data: bytes) -> bytes:
+    """The 32-byte SHA-256 digest of *data*."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """The SHA-256 digest of *data* as 64 lowercase hex characters."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def fingerprint(data: bytes, length: int = 16) -> str:
+    """A short, human-scannable hex fingerprint (default 16 hex chars).
+
+    Used for key identifiers and object names in logs and monitors; long
+    enough that collisions are not a practical concern at simulation scale.
+    """
+    if length < 8 or length > 64:
+        raise ValueError(f"fingerprint length out of range: {length}")
+    return sha256_hex(data)[:length]

@@ -1,0 +1,110 @@
+"""Key identities and reproducible key generation for simulations.
+
+A :class:`KeyPair` is an RSA keypair plus the derived *key identifier* —
+the analog of the X.509 Subject Key Identifier that RPKI certificates use
+to link a certificate to the key it certifies (and that key rollover, per
+RFC 6489, rotates).
+
+:class:`KeyFactory` hands out reproducible keypairs from a seed.  A model
+RPKI can contain thousands of authorities; generating RSA keys one by one
+dominates runtime, so the factory also maintains a pool of pre-generated
+keys per (seed, bits) pair, shared process-wide.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from .encoding import encode
+from .hashing import fingerprint, sha256
+from .rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+
+__all__ = ["KeyPair", "KeyFactory", "key_id_of"]
+
+
+def key_id_of(public: RsaPublicKey) -> str:
+    """The key identifier: a hex fingerprint of the canonical public key."""
+    return fingerprint(encode(public.to_dict()), length=20)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An RSA keypair with its derived key identifier."""
+
+    private: RsaPrivateKey
+    key_id: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.key_id:
+            object.__setattr__(self, "key_id", key_id_of(self.private.public))
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return self.private.public
+
+    def sign(self, message: bytes) -> bytes:
+        return self.private.sign(message)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return self.public.verify(message, signature)
+
+    def __repr__(self) -> str:
+        return f"KeyPair(key_id={self.key_id!r})"
+
+
+class KeyFactory:
+    """Reproducible keypair source.
+
+    Two factories built with the same ``(seed, bits)`` produce the same
+    sequence of keypairs, so an entire simulated RPKI — object hashes,
+    signatures, manifests — is a pure function of its seed.
+
+    A process-wide cache keyed by ``(seed, bits, index)`` means re-running
+    a scenario (every test, every benchmark iteration) reuses keys instead
+    of paying keygen again.
+    """
+
+    _cache: dict[tuple[int, int, int], KeyPair] = {}
+    _cache_lock = threading.Lock()
+
+    def __init__(self, seed: int = 0, bits: int = 512):
+        self._seed = seed
+        self._bits = bits
+        self._index = 0
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    @property
+    def issued(self) -> int:
+        """How many keypairs this factory instance has handed out."""
+        return self._index
+
+    def next_keypair(self) -> KeyPair:
+        """The next keypair in this factory's deterministic sequence."""
+        index = self._index
+        self._index += 1
+        cache_key = (self._seed, self._bits, index)
+        with self._cache_lock:
+            cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        # Each index derives its own RNG stream, so pulling key #k does not
+        # depend on having pulled keys #0..k-1 in the same process.
+        stream_seed = int.from_bytes(
+            sha256(encode([self._seed, self._bits, index])), "big"
+        )
+        rng = random.Random(stream_seed)
+        pair = KeyPair(private=generate_keypair(self._bits, rng))
+        with self._cache_lock:
+            self._cache[cache_key] = pair
+        return pair
+
+    @classmethod
+    def clear_cache(cls) -> None:
+        """Drop the process-wide key cache (for memory-sensitive runs)."""
+        with cls._cache_lock:
+            cls._cache.clear()

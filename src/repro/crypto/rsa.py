@@ -1,0 +1,128 @@
+"""Textbook-correct RSA signatures with PKCS#1-v1.5-style padding.
+
+This is the reproduction's stand-in for the production RPKI's RSA/SHA-256
+CMS signatures.  The paper's attacks never forge signatures — they abuse
+*authorized* keys — so what the substrate must provide is (1) unforgeability
+against the simulation's own tampering (manifest/CRL checks must notice a
+flipped bit) and (2) reproducibility (seeded keygen).  Both hold here.
+
+Do not use this module outside the simulation: it has no blinding, no
+constant-time guarantees, and default key sizes are chosen for test speed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .errors import KeySizeError, SignatureError
+from .hashing import sha256
+from .prime import generate_prime
+
+__all__ = ["RsaPublicKey", "RsaPrivateKey", "generate_keypair"]
+
+# SHA-256 DigestInfo prefix from RFC 8017, kept verbatim so padded messages
+# are structured exactly like real PKCS#1 v1.5 signatures.
+_SHA256_DIGEST_INFO = bytes.fromhex(
+    "3031300d060960864801650304020105000420"
+)
+
+_PUBLIC_EXPONENT = 65537
+_MIN_MODULUS_BITS = 256
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA public key (modulus, exponent)."""
+
+    modulus: int
+    exponent: int = _PUBLIC_EXPONENT
+
+    @property
+    def modulus_bits(self) -> int:
+        return self.modulus.bit_length()
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.modulus_bits + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """True iff *signature* is a valid signature of *message*.
+
+        Structural errors (wrong length) return False rather than raising,
+        so relying-party code can treat any bad signature uniformly.
+        """
+        if len(signature) != self.modulus_bytes:
+            return False
+        sig_int = int.from_bytes(signature, "big")
+        if sig_int >= self.modulus:
+            return False
+        recovered = pow(sig_int, self.exponent, self.modulus)
+        expected = int.from_bytes(_pad(message, self.modulus_bytes), "big")
+        return recovered == expected
+
+    def to_dict(self) -> dict:
+        """Plain-data form for canonical encoding inside certificates."""
+        return {"n": self.modulus, "e": self.exponent}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RsaPublicKey":
+        return cls(modulus=data["n"], exponent=data["e"])
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """An RSA private key; carries its public half."""
+
+    public: RsaPublicKey
+    d: int
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign SHA-256(message) with PKCS#1-v1.5-style padding."""
+        padded = _pad(message, self.public.modulus_bytes)
+        m = int.from_bytes(padded, "big")
+        if m >= self.public.modulus:
+            raise SignatureError("message representative exceeds modulus")
+        s = pow(m, self.d, self.public.modulus)
+        return s.to_bytes(self.public.modulus_bytes, "big")
+
+
+def generate_keypair(bits: int = 512, rng: random.Random | None = None) -> RsaPrivateKey:
+    """Generate an RSA keypair with a *bits*-bit modulus.
+
+    *rng* makes generation reproducible; the default uses a fresh
+    system-seeded generator.  512 bits is the simulation default — small
+    enough that a full model RPKI signs in milliseconds, large enough that
+    padding and DigestInfo fit comfortably.
+    """
+    if bits < _MIN_MODULUS_BITS:
+        raise KeySizeError(
+            f"modulus must be at least {_MIN_MODULUS_BITS} bits, got {bits}"
+        )
+    rng = rng or random.Random()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(_PUBLIC_EXPONENT, -1, phi)
+        except ValueError:
+            continue  # e not invertible mod phi; rare, retry
+        return RsaPrivateKey(public=RsaPublicKey(modulus=n), d=d)
+
+
+def _pad(message: bytes, target_length: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of SHA-256(message)."""
+    digest_info = _SHA256_DIGEST_INFO + sha256(message)
+    padding_length = target_length - len(digest_info) - 3
+    if padding_length < 8:
+        raise SignatureError(
+            f"modulus too small for SHA-256 DigestInfo ({target_length} bytes)"
+        )
+    return b"\x00\x01" + b"\xff" * padding_length + b"\x00" + digest_info

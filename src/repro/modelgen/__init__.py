@@ -1,0 +1,20 @@
+"""Model RPKI generation: exact paper fixtures and synthetic deployments."""
+
+from .deployment import (
+    DeploymentConfig,
+    DeploymentWorld,
+    build_deployment,
+    build_table4_world,
+)
+from .figure2 import Figure2World, build_deep_hierarchy, build_figure2, figure2_bgp
+
+__all__ = [
+    "DeploymentConfig",
+    "DeploymentWorld",
+    "Figure2World",
+    "build_deep_hierarchy",
+    "build_deployment",
+    "build_figure2",
+    "build_table4_world",
+    "figure2_bgp",
+]

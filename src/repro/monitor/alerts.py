@@ -1,0 +1,215 @@
+"""Alert classification: separating abuse from churn.
+
+The paper's open problem in executable form.  Given a snapshot diff, the
+analyzer emits typed alerts:
+
+=========================  ====================================================
+alert                      signature
+=========================  ====================================================
+``TRANSPARENT_REVOCATION`` object withdrawn AND its serial appears on the
+                           issuer's CRL — visible, accountable revocation.
+``STEALTHY_DELETION``      object withdrawn with NO CRL entry (Side Effect 2).
+``RC_SHRUNK``              a certificate replaced in place with strictly less
+                           address space (the Side Effect 3 primitive); the
+                           alert lists the ROAs the lost space was covering.
+``SUSPICIOUS_REISSUE``     a new ROA authorizing (prefixes, asn) that some
+                           *other* authority's ROA authorized in the previous
+                           snapshot, while that ROA was whacked — the
+                           make-before-break fingerprint (Figure 3).
+``RENEWAL``                a ROA replaced by one with identical payload —
+                           benign churn, reported at INFO level.
+=========================  ====================================================
+
+"Distinguishing between abusive behavior and normal RPKI churn could be
+difficult" (Section 3) — the detection experiment in the benchmarks
+quantifies exactly how difficult, by scoring these alerts against ground
+truth over churny histories.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..rpki import Roa
+from .diff import SnapshotDiff
+from .snapshot import RpkiSnapshot
+
+__all__ = ["AlertKind", "Alert", "analyze"]
+
+
+class AlertKind(enum.Enum):
+    TRANSPARENT_REVOCATION = "transparent-revocation"
+    STEALTHY_DELETION = "stealthy-deletion"
+    RC_SHRUNK = "rc-shrunk"
+    SUSPICIOUS_REISSUE = "suspicious-reissue"
+    RENEWAL = "renewal"
+
+
+_SEVERITY = {
+    AlertKind.TRANSPARENT_REVOCATION: "notice",
+    AlertKind.STEALTHY_DELETION: "warning",
+    AlertKind.RC_SHRUNK: "warning",
+    AlertKind.SUSPICIOUS_REISSUE: "critical",
+    AlertKind.RENEWAL: "info",
+}
+
+
+@dataclass(frozen=True)
+class Alert:
+    kind: AlertKind
+    point_uri: str
+    subject: str       # what object/space the alert is about
+    detail: str
+    contact: str | None = None   # who to call (from Ghostbusters, RFC 6493)
+
+    @property
+    def severity(self) -> str:
+        return _SEVERITY[self.kind]
+
+    @property
+    def is_suspicious(self) -> bool:
+        """Alerts a deterrence monitor would page on."""
+        return self.kind in (
+            AlertKind.STEALTHY_DELETION,
+            AlertKind.RC_SHRUNK,
+            AlertKind.SUSPICIOUS_REISSUE,
+        )
+
+    def __str__(self) -> str:
+        text = f"[{self.severity}] {self.kind.value}: {self.subject} — {self.detail}"
+        if self.contact:
+            text += f" (contact: {self.contact})"
+        return text
+
+
+def analyze(
+    diff: SnapshotDiff,
+    before: RpkiSnapshot,
+    after: RpkiSnapshot,
+) -> list[Alert]:
+    """Turn a structural diff into classified alerts.
+
+    Each alert carries the affected point's Ghostbusters contact (from the
+    *before* snapshot — the victim's own card, as it stood pre-incident).
+    """
+
+    def contact_of(point_uri: str) -> str | None:
+        record = before.contact_for(point_uri)
+        if record is None:
+            return None
+        email = record.email
+        return f"{record.full_name} <{email}>" if email else record.full_name
+
+    def victim_contact_of_cert(cert) -> str | None:
+        """A certificate's *subject* is the victim; its contact lives at
+        the subject's own publication point (the SIA), not at the issuer's
+        point where the change was observed."""
+        if not cert.sia:
+            return None
+        from ..repository.uri import RsyncUri
+
+        try:
+            return contact_of(str(RsyncUri.parse(cert.sia)))
+        except Exception:
+            return None
+
+    alerts: list[Alert] = []
+    after_revoked = after.revoked_serials()
+
+    # -- withdrawals: transparent vs stealthy --------------------------------
+    whacked_payloads: set[str] = set()
+    for record in diff.removed_roas():
+        assert isinstance(record.obj, Roa)
+        serial = record.obj.ee_cert.serial
+        revoked_here = serial in after_revoked.get(record.point_uri, frozenset())
+        whacked_payloads.add(record.obj.describe())
+        if revoked_here:
+            alerts.append(Alert(
+                AlertKind.TRANSPARENT_REVOCATION, record.point_uri,
+                record.obj.describe(),
+                f"ROA withdrawn with CRL entry for EE serial {serial}",
+                contact=contact_of(record.point_uri),
+            ))
+        else:
+            alerts.append(Alert(
+                AlertKind.STEALTHY_DELETION, record.point_uri,
+                record.obj.describe(),
+                "ROA vanished with no corresponding CRL entry",
+                contact=contact_of(record.point_uri),
+            ))
+    for record in diff.removed_certs():
+        serial = record.obj.serial
+        revoked_here = serial in after_revoked.get(record.point_uri, frozenset())
+        kind = (
+            AlertKind.TRANSPARENT_REVOCATION if revoked_here
+            else AlertKind.STEALTHY_DELETION
+        )
+        alerts.append(Alert(
+            kind, record.point_uri,
+            f"RC for {record.obj.subject!r}",
+            "certificate withdrawn"
+            + (" with CRL entry" if revoked_here else " with no CRL entry"),
+            contact=victim_contact_of_cert(record.obj),
+        ))
+
+    # -- in-place certificate shrinks -------------------------------------------
+    for change in diff.shrunken_certs():
+        lost = change.lost_resources
+        # Which ROAs (previous snapshot) did the lost space cover?
+        whacked = [
+            record.obj.describe()
+            for record in before.roas()
+            if isinstance(record.obj, Roa)
+            and any(lost.overlaps(rp.prefix) for rp in record.obj.prefixes)
+        ]
+        whacked_payloads.update(whacked)
+        detail = f"lost {lost}"
+        if whacked:
+            detail += "; covering ROAs now invalid: " + ", ".join(whacked)
+        alerts.append(Alert(
+            AlertKind.RC_SHRUNK, change.point_uri,
+            f"RC for {change.after.subject!r}", detail,
+            contact=victim_contact_of_cert(change.after),
+        ))
+
+    # -- renewals and semantic ROA rewrites ----------------------------------------
+    for change in diff.roa_changes:
+        if change.same_payload:
+            alerts.append(Alert(
+                AlertKind.RENEWAL, change.point_uri,
+                change.after.describe(), "ROA reissued with identical payload",
+            ))
+        else:
+            whacked_payloads.add(change.before.describe())
+            alerts.append(Alert(
+                AlertKind.STEALTHY_DELETION, change.point_uri,
+                change.before.describe(),
+                f"ROA overwritten by {change.after.describe()}",
+            ))
+
+    # -- the make-before-break fingerprint --------------------------------------------
+    before_index = before.roa_payload_index()
+    for record in diff.added_roas():
+        assert isinstance(record.obj, Roa)
+        payload = record.obj.describe()
+        previous_holders = {
+            r.point_uri for r in before_index.get(payload, [])
+        }
+        if not previous_holders:
+            continue
+        if record.point_uri in previous_holders:
+            continue
+        if payload in whacked_payloads or any(
+            (uri, name) not in after.records
+            for uri, name in (
+                (r.point_uri, r.file_name) for r in before_index[payload]
+            )
+        ):
+            alerts.append(Alert(
+                AlertKind.SUSPICIOUS_REISSUE, record.point_uri,
+                payload,
+                "ROA reissued at a different publication point while the "
+                f"original (at {', '.join(sorted(previous_holders))}) was whacked",
+            ))
+    return alerts

@@ -1,0 +1,142 @@
+"""The detection experiment: whack campaigns hidden in churn.
+
+Scores the monitor's alerts against ground truth: over a history of
+epochs, benign churn runs every epoch and attacks are injected at chosen
+epochs.  An attacked ROA counts as *detected* if some suspicious alert in
+the attack epoch names its payload (or the certificate shrink that killed
+it).  Churn-only epochs that raise suspicious alerts contribute false
+positives — which, thanks to sloppy operators who delete instead of
+revoking, they do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..repository import RepositoryRegistry
+from ..simtime import Clock, HOUR
+from .alerts import Alert, AlertKind, analyze
+from .churn import ChurnEngine
+from .diff import diff_snapshots
+from .snapshot import RpkiSnapshot, take_snapshot
+
+__all__ = ["EpochAlerts", "DetectionScore", "DetectionExperiment"]
+
+# An attack is a callable that mutates the world and returns the payload
+# descriptions (Roa.describe() strings) of the ROAs it whacked.
+AttackFn = Callable[[], list[str]]
+
+
+@dataclass
+class EpochAlerts:
+    epoch: int
+    alerts: list[Alert]
+    churn_events: int
+    attacked_payloads: list[str]
+
+    @property
+    def suspicious(self) -> list[Alert]:
+        return [a for a in self.alerts if a.is_suspicious]
+
+
+@dataclass
+class DetectionScore:
+    """Precision/recall of suspicious alerts against injected attacks."""
+
+    true_positives: int = 0
+    false_negatives: int = 0
+    false_positive_alerts: int = 0
+    suspicious_alerts: int = 0
+    alerts_by_kind: dict[AlertKind, int] = field(default_factory=dict)
+
+    @property
+    def recall(self) -> float:
+        total = self.true_positives + self.false_negatives
+        return self.true_positives / total if total else 1.0
+
+    @property
+    def precision(self) -> float:
+        if not self.suspicious_alerts:
+            return 1.0
+        return 1.0 - self.false_positive_alerts / self.suspicious_alerts
+
+    def render(self) -> str:
+        lines = [
+            f"recall    : {self.recall:.2f} "
+            f"({self.true_positives}/{self.true_positives + self.false_negatives}"
+            " attacked ROAs flagged)",
+            f"precision : {self.precision:.2f} "
+            f"({self.suspicious_alerts - self.false_positive_alerts}"
+            f"/{self.suspicious_alerts} suspicious alerts were real attacks)",
+        ]
+        for kind in AlertKind:
+            count = self.alerts_by_kind.get(kind, 0)
+            if count:
+                lines.append(f"  {kind.value:<24}: {count}")
+        return "\n".join(lines)
+
+
+class DetectionExperiment:
+    """Run churn + attacks and score the monitor, epoch by epoch."""
+
+    def __init__(
+        self,
+        *,
+        registry: RepositoryRegistry,
+        churn: ChurnEngine,
+        clock: Clock,
+        epoch_seconds: int = HOUR,
+    ):
+        self.registry = registry
+        self.churn = churn
+        self.clock = clock
+        self.epoch_seconds = epoch_seconds
+        self.history: list[EpochAlerts] = []
+        self._last_snapshot: RpkiSnapshot = take_snapshot(registry, clock.now)
+
+    def run_epoch(self, attack: AttackFn | None = None) -> EpochAlerts:
+        """One epoch: churn, optional attack, snapshot, diff, classify."""
+        self.clock.advance(self.epoch_seconds)
+        churn_events = self.churn.tick()
+        attacked = attack() if attack is not None else []
+
+        snapshot = take_snapshot(self.registry, self.clock.now)
+        diff = diff_snapshots(self._last_snapshot, snapshot)
+        alerts = analyze(diff, self._last_snapshot, snapshot)
+        self._last_snapshot = snapshot
+
+        epoch = EpochAlerts(
+            epoch=len(self.history),
+            alerts=alerts,
+            churn_events=len(churn_events),
+            attacked_payloads=attacked,
+        )
+        self.history.append(epoch)
+        return epoch
+
+    def score(self) -> DetectionScore:
+        """Score all epochs so far."""
+        score = DetectionScore()
+        for epoch in self.history:
+            for alert in epoch.alerts:
+                score.alerts_by_kind[alert.kind] = (
+                    score.alerts_by_kind.get(alert.kind, 0) + 1
+                )
+            suspicious = epoch.suspicious
+            score.suspicious_alerts += len(suspicious)
+            flagged_payloads = " | ".join(
+                f"{a.subject} {a.detail}" for a in suspicious
+            )
+            for payload in epoch.attacked_payloads:
+                if payload in flagged_payloads:
+                    score.true_positives += 1
+                else:
+                    score.false_negatives += 1
+            # Suspicious alerts not accounted for by any attacked payload
+            # in this epoch are false positives.
+            for alert in suspicious:
+                blob = f"{alert.subject} {alert.detail}"
+                if not any(p in blob for p in epoch.attacked_payloads):
+                    score.false_positive_alerts += 1
+        return score

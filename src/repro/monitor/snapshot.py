@@ -1,0 +1,123 @@
+"""Point-in-time snapshots of the global RPKI publication state.
+
+The monitor is the paper's proposed countermeasure sketch: "one of the
+open problems we are working on is the design of monitoring schemes that
+deter RPKI manipulations by detecting suspiciously reissued objects"
+(Section 3.1).  A monitor watches from outside: it fetches everything,
+remembers what it saw, and diffs.
+
+A snapshot is purely syntactic — bytes per file per publication point,
+plus a parsed-object index.  Interpretation (what changed, and does it
+look like an attack?) lives in :mod:`repro.monitor.diff` and
+:mod:`repro.monitor.alerts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..repository import RepositoryRegistry
+from ..rpki import Crl, GhostbustersRecord, Manifest, ResourceCertificate, Roa, SignedObject
+from ..rpki.errors import ObjectFormatError
+from ..rpki.parse import parse_object
+
+__all__ = ["ObjectRecord", "RpkiSnapshot", "take_snapshot"]
+
+
+@dataclass(frozen=True)
+class ObjectRecord:
+    """One published object as the monitor saw it."""
+
+    point_uri: str
+    file_name: str
+    obj: SignedObject
+
+    @property
+    def kind(self) -> str:
+        return self.obj.TYPE
+
+
+@dataclass
+class RpkiSnapshot:
+    """Everything published across all repositories, at one instant."""
+
+    taken_at: int
+    files: dict[str, dict[str, bytes]] = field(default_factory=dict)
+    records: dict[tuple[str, str], ObjectRecord] = field(default_factory=dict)
+    unparsable: list[tuple[str, str]] = field(default_factory=list)
+
+    # -- typed views -----------------------------------------------------------
+
+    def certs(self) -> list[ObjectRecord]:
+        return [r for r in self.records.values() if isinstance(r.obj, ResourceCertificate)]
+
+    def roas(self) -> list[ObjectRecord]:
+        return [r for r in self.records.values() if isinstance(r.obj, Roa)]
+
+    def crls(self) -> list[ObjectRecord]:
+        return [r for r in self.records.values() if isinstance(r.obj, Crl)]
+
+    def manifests(self) -> list[ObjectRecord]:
+        return [r for r in self.records.values() if isinstance(r.obj, Manifest)]
+
+    def contact_for(self, point_uri: str) -> GhostbustersRecord | None:
+        """The Ghostbusters record published at a point, if any —
+        the person to call about an alert concerning that point."""
+        for record in self.records.values():
+            if record.point_uri == point_uri and isinstance(
+                record.obj, GhostbustersRecord
+            ):
+                return record.obj
+        return None
+
+    def revoked_serials(self) -> dict[str, frozenset[int]]:
+        """Per point URI, the serials its CRL currently revokes."""
+        out: dict[str, frozenset[int]] = {}
+        for record in self.crls():
+            assert isinstance(record.obj, Crl)
+            out[record.point_uri] = record.obj.revoked_serials
+        return out
+
+    def roa_payload_index(self) -> dict[str, list[ObjectRecord]]:
+        """ROAs indexed by their payload signature '(prefixes, asn)'.
+
+        Two ROAs with the same index entry authorize the same routes —
+        the key the suspicious-reissue detector joins on.
+        """
+        index: dict[str, list[ObjectRecord]] = {}
+        for record in self.roas():
+            assert isinstance(record.obj, Roa)
+            index.setdefault(record.obj.describe(), []).append(record)
+        return index
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def take_snapshot(registry: RepositoryRegistry, now: int) -> RpkiSnapshot:
+    """Fetch-and-parse everything in every registered repository.
+
+    The monitor is assumed to have connectivity (it is exactly the kind
+    of out-of-band observer the paper's countermeasures rely on), so this
+    reads repository contents directly rather than going through a
+    relying party's delivery path.
+    """
+    snapshot = RpkiSnapshot(taken_at=now)
+    for server in registry.servers():
+        for point in server.points():
+            uri = str(point.uri)
+            file_map: dict[str, bytes] = {}
+            for name in point.names():
+                data = point.get(name)
+                assert data is not None
+                file_map[name] = data
+                try:
+                    obj = parse_object(data)
+                except ObjectFormatError:
+                    snapshot.unparsable.append((uri, name))
+                    continue
+                snapshot.records[(uri, name)] = ObjectRecord(
+                    point_uri=uri, file_name=name, obj=obj
+                )
+            snapshot.files[uri] = file_map
+    return snapshot

@@ -1,0 +1,40 @@
+"""Distributed RPKI repositories and the delivery path to relying parties.
+
+Publication points are hosted on repository servers that sit at real
+(simulated) network locations; fetching them traverses the simulated BGP
+data plane and an explicit fault model.  This is the layer where the
+paper's Section 6 circularity physically lives.
+"""
+
+from .cache import CachedPoint, LocalCache
+from .errors import MountError, RepositoryError, UnknownHostError, UriError
+from .faults import Fault, FaultInjector, FaultKind
+from .fetch import FetchResult, FetchStatus, Fetcher, always_reachable
+from .server import (
+    HostLocator,
+    HostedPublicationPoint,
+    RepositoryRegistry,
+    RepositoryServer,
+)
+from .uri import RsyncUri
+
+__all__ = [
+    "CachedPoint",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FetchResult",
+    "FetchStatus",
+    "Fetcher",
+    "HostLocator",
+    "HostedPublicationPoint",
+    "LocalCache",
+    "MountError",
+    "RepositoryError",
+    "RepositoryRegistry",
+    "RepositoryServer",
+    "RsyncUri",
+    "UnknownHostError",
+    "UriError",
+    "always_reachable",
+]

@@ -1,0 +1,87 @@
+"""The relying party's local cache of fetched RPKI objects.
+
+Route validity is computed from "a local cache of the complete set of
+valid ROAs" (RFC 6483, quoted in the paper's Section 2).  The cache is
+therefore the exact place where *missing* information becomes *wrong*
+routing decisions: whatever did not make it here — whacked, expired,
+corrupted in transit, or unreachable — simply does not exist as far as
+origin validation is concerned.
+
+A policy knob controls what a failed refresh does to previously cached
+data.  ``keep_stale=True`` (the default, matching deployed relying-party
+software) retains the last good copy; ``False`` models an RP that drops
+state it cannot re-validate — the brittle end of the paper's tradeoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .fetch import FetchResult, FetchStatus
+
+__all__ = ["CachedPoint", "LocalCache"]
+
+
+@dataclass
+class CachedPoint:
+    """The cache's view of one publication point."""
+
+    uri: str
+    files: dict[str, bytes] = field(default_factory=dict)
+    last_attempt: int = -1
+    last_success: int = -1
+    last_status: FetchStatus = FetchStatus.OK
+
+    @property
+    def stale(self) -> bool:
+        """True if the newest attempt did not succeed."""
+        return self.last_attempt != self.last_success
+
+
+class LocalCache:
+    """Per-relying-party storage of fetched publication points."""
+
+    def __init__(self, *, keep_stale: bool = True):
+        self.keep_stale = keep_stale
+        self._points: dict[str, CachedPoint] = {}
+
+    def update(self, result: FetchResult) -> CachedPoint:
+        """Fold one fetch result into the cache."""
+        entry = self._points.setdefault(result.uri, CachedPoint(uri=result.uri))
+        entry.last_attempt = result.fetched_at
+        entry.last_status = result.status
+        if result.ok:
+            entry.files = dict(result.files)
+            entry.last_success = result.fetched_at
+        elif not self.keep_stale:
+            entry.files = {}
+        return entry
+
+    def point(self, uri: str) -> CachedPoint | None:
+        return self._points.get(uri)
+
+    def points(self) -> list[CachedPoint]:
+        return [self._points[uri] for uri in sorted(self._points)]
+
+    def all_files(self) -> dict[str, dict[str, bytes]]:
+        """Everything cached, keyed by point URI then file name.
+
+        Points that have *never* been fetched successfully are omitted —
+        to the validator they are missing, not empty, which matters for
+        the paper's missing-information analysis.
+        """
+        return {
+            uri: dict(entry.files)
+            for uri, entry in self._points.items()
+            if entry.last_success >= 0
+        }
+
+    def forget(self, uri: str) -> None:
+        """Drop a point from the cache entirely."""
+        self._points.pop(uri, None)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._points

@@ -1,0 +1,136 @@
+"""Fault injection for RPKI object delivery.
+
+Side Effect 6 turns on information going missing "for a variety of
+reasons: the renewal of an expiring ROA could be delayed (accidentally or
+maliciously); the filesystem or server storing the ROA could become
+corrupted; etc."  This module is that variety of reasons, made explicit
+and deterministic:
+
+- targeted one-shot faults ("corrupt the next fetch of this file"), the
+  trigger of the Section 6 transient-to-persistent scenario; and
+- seeded background fault rates, for the monitor's churn-vs-attack
+  detectability experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["FaultKind", "Fault", "FaultInjector"]
+
+
+class FaultKind(enum.Enum):
+    """What goes wrong with one fetched file (or one whole fetch)."""
+
+    DROP = "drop"          # file silently absent from the fetch
+    CORRUPT = "corrupt"    # random bytes flipped
+    TRUNCATE = "truncate"  # tail cut off
+    UNREACHABLE = "unreachable"  # the whole publication point fetch fails
+
+
+@dataclass
+class Fault:
+    """A scheduled fault: applies to *remaining* further matching fetches."""
+
+    kind: FaultKind
+    uri_prefix: str          # matches any file URI starting with this
+    remaining: int = 1       # one-shot by default (a *transient* error)
+    file_name: str | None = None  # restrict to one file, else whole point
+
+    def matches(self, point_uri: str, file_name: str | None) -> bool:
+        if self.remaining <= 0:
+            return False
+        if not point_uri.startswith(self.uri_prefix):
+            return False
+        if self.file_name is not None and file_name != self.file_name:
+            return False
+        return True
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic fault source consulted by the fetcher.
+
+    *background_rate* applies :class:`FaultKind.DROP` independently to
+    each fetched file with the given probability, from a seeded stream —
+    the "error-prone Internet" baseline.  Scheduled faults are exact.
+    """
+
+    seed: int = 0
+    background_rate: float = 0.0
+    _faults: list[Fault] = field(default_factory=list)
+    _rng: random.Random = field(init=False)
+    applied: list[tuple[str, str, FaultKind]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.background_rate <= 1.0:
+            raise ValueError(f"bad background rate {self.background_rate}")
+        self._rng = random.Random(self.seed)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self,
+        kind: FaultKind,
+        point_uri: str,
+        *,
+        file_name: str | None = None,
+        count: int = 1,
+    ) -> Fault:
+        """Schedule *count* occurrences of *kind* against a point or file."""
+        fault = Fault(kind=kind, uri_prefix=point_uri, remaining=count,
+                      file_name=file_name)
+        self._faults.append(fault)
+        return fault
+
+    def clear(self) -> None:
+        """Cancel all scheduled faults (background rate unaffected)."""
+        self._faults.clear()
+
+    # -- application (called by the fetcher) ------------------------------------
+
+    def point_unreachable(self, point_uri: str) -> bool:
+        """Consume an UNREACHABLE fault for this point, if one is due."""
+        for fault in self._faults:
+            if fault.kind is FaultKind.UNREACHABLE and fault.matches(point_uri, None):
+                fault.remaining -= 1
+                self.applied.append((point_uri, "", fault.kind))
+                return True
+        return False
+
+    def filter_file(
+        self, point_uri: str, file_name: str, data: bytes
+    ) -> bytes | None:
+        """Pass one fetched file through the fault plan.
+
+        Returns the (possibly damaged) bytes, or None if the file is
+        dropped from the fetch entirely.
+        """
+        for fault in self._faults:
+            if fault.kind is FaultKind.UNREACHABLE:
+                continue
+            if fault.matches(point_uri, file_name):
+                fault.remaining -= 1
+                self.applied.append((point_uri, file_name, fault.kind))
+                return self._apply(fault.kind, data)
+        if self.background_rate and self._rng.random() < self.background_rate:
+            self.applied.append((point_uri, file_name, FaultKind.DROP))
+            return None
+        return data
+
+    def _apply(self, kind: FaultKind, data: bytes) -> bytes | None:
+        if kind is FaultKind.DROP:
+            return None
+        if kind is FaultKind.CORRUPT:
+            if not data:
+                return b"\x00"
+            damaged = bytearray(data)
+            for _ in range(max(1, len(damaged) // 64)):
+                index = self._rng.randrange(len(damaged))
+                damaged[index] ^= 0xFF
+            return bytes(damaged)
+        if kind is FaultKind.TRUNCATE:
+            return data[: len(data) // 2]
+        raise AssertionError(f"unhandled fault kind {kind}")

@@ -1,0 +1,123 @@
+"""The relying party's fetch pipeline: rsync over the simulated data plane.
+
+"The only delivery method mandated by the RPKI is the rsync protocol,
+which runs on top of TCP/IP" (paper, Section 6).  The consequence the
+paper draws — RPKI objects can affect the availability of the very routes
+over which they are delivered — is modeled here by one injected
+dependency: a *reachability predicate* that the routing layer provides.
+If the relying party currently has no usable route to a repository
+server's address, the fetch fails, exactly as a TCP connection would.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..simtime import Clock
+from .errors import UnknownHostError
+from .faults import FaultInjector
+from .server import HostLocator, RepositoryRegistry
+from .uri import RsyncUri
+
+__all__ = ["FetchStatus", "FetchResult", "Fetcher", "always_reachable"]
+
+ReachabilityPredicate = Callable[[HostLocator], bool]
+
+
+def always_reachable(_locator: HostLocator) -> bool:
+    """The degenerate data plane: every server reachable (no BGP model)."""
+    return True
+
+
+class FetchStatus(enum.Enum):
+    OK = "ok"
+    UNREACHABLE = "unreachable"  # no route to the repository host
+    UNKNOWN_HOST = "unknown-host"
+    FAULTED = "faulted"          # server reached but the fetch failed
+
+
+@dataclass
+class FetchResult:
+    """Outcome of syncing one publication point."""
+
+    uri: str
+    status: FetchStatus
+    files: dict[str, bytes] = field(default_factory=dict)
+    fetched_at: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is FetchStatus.OK
+
+
+class Fetcher:
+    """Fetches publication points subject to routing and faults.
+
+    Parameters
+    ----------
+    registry:
+        The global name → server mapping.
+    clock:
+        Simulated time source (stamps results for cache staleness).
+    reachability:
+        Predicate the routing layer provides; default ignores routing.
+    faults:
+        Optional fault injector applied to everything fetched.
+    """
+
+    def __init__(
+        self,
+        registry: RepositoryRegistry,
+        clock: Clock,
+        *,
+        reachability: ReachabilityPredicate = always_reachable,
+        faults: FaultInjector | None = None,
+    ):
+        self._registry = registry
+        self._clock = clock
+        self.reachability = reachability
+        self.faults = faults
+        self.fetch_log: list[FetchResult] = []
+
+    def fetch_point(self, uri: str | RsyncUri) -> FetchResult:
+        """Sync one publication point directory.
+
+        Never raises for delivery problems — failure is data here (the
+        relying party must decide what missing information *means*, which
+        is the paper's Section 4).
+        """
+        parsed = uri if isinstance(uri, RsyncUri) else RsyncUri.parse(uri)
+        uri_text = str(parsed)
+        now = self._clock.now
+
+        try:
+            point = self._registry.resolve(parsed)
+        except UnknownHostError:
+            return self._log(FetchResult(uri_text, FetchStatus.UNKNOWN_HOST,
+                                         fetched_at=now))
+
+        if not self.reachability(point.server.locator):
+            return self._log(FetchResult(uri_text, FetchStatus.UNREACHABLE,
+                                         fetched_at=now))
+
+        if self.faults is not None and self.faults.point_unreachable(uri_text):
+            return self._log(FetchResult(uri_text, FetchStatus.FAULTED,
+                                         fetched_at=now))
+
+        files: dict[str, bytes] = {}
+        for name in point.names():
+            data = point.get(name)
+            assert data is not None
+            if self.faults is not None:
+                filtered = self.faults.filter_file(uri_text, name, data)
+                if filtered is None:
+                    continue  # dropped
+                data = filtered
+            files[name] = data
+        return self._log(FetchResult(uri_text, FetchStatus.OK, files, now))
+
+    def _log(self, result: FetchResult) -> FetchResult:
+        self.fetch_log.append(result)
+        return result

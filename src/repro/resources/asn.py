@@ -1,0 +1,241 @@
+"""Autonomous-system numbers and AS-number sets.
+
+RPKI certificates may carry AS-number resources alongside IP resources
+(RFC 3779); ROAs bind one origin ASN to a prefix.  We model 32-bit ASNs
+(RFC 6793) throughout.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Iterable, Iterator
+
+from .errors import AsnValueError
+
+__all__ = ["ASN", "AsnRange", "AsnSet", "AS_MAX"]
+
+AS_MAX = 2**32 - 1
+
+
+@functools.total_ordering
+class ASN:
+    """A single autonomous-system number.
+
+    A thin value type rather than a bare int so that route and ROA
+    signatures are self-documenting and so ``ASN.parse`` can accept the
+    common ``"AS7341"`` spelling.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int):
+        if not 0 <= value <= AS_MAX:
+            raise AsnValueError(f"AS number out of range: {value}")
+        self._value = value
+
+    @classmethod
+    def parse(cls, text: str | int) -> "ASN":
+        """Parse ``7341``, ``"7341"`` or ``"AS7341"`` (case-insensitive)."""
+        if isinstance(text, int):
+            return cls(text)
+        cleaned = text.strip()
+        if cleaned.upper().startswith("AS"):
+            cleaned = cleaned[2:]
+        try:
+            return cls(int(cleaned))
+        except ValueError as exc:
+            raise AsnValueError(f"bad AS number: {text!r}") from exc
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ASN):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "ASN") -> bool:
+        if isinstance(other, ASN):
+            return self._value < other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("ASN", self._value))
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        return f"AS{self._value}"
+
+    def __repr__(self) -> str:
+        return f"ASN({self._value})"
+
+
+@functools.total_ordering
+class AsnRange:
+    """An inclusive range of AS numbers."""
+
+    __slots__ = ("_start", "_end")
+
+    def __init__(self, start: int, end: int):
+        if not 0 <= start <= end <= AS_MAX:
+            raise AsnValueError(f"bad ASN range [{start}, {end}]")
+        self._start = start
+        self._end = end
+
+    @classmethod
+    def single(cls, asn: ASN | int) -> "AsnRange":
+        value = int(asn)
+        return cls(value, value)
+
+    @property
+    def start(self) -> int:
+        return self._start
+
+    @property
+    def end(self) -> int:
+        return self._end
+
+    @property
+    def size(self) -> int:
+        return self._end - self._start + 1
+
+    def covers(self, other: "AsnRange") -> bool:
+        return self._start <= other._start and other._end <= self._end
+
+    def contains(self, asn: ASN | int) -> bool:
+        return self._start <= int(asn) <= self._end
+
+    def overlaps(self, other: "AsnRange") -> bool:
+        return self._start <= other._end and other._start <= self._end
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AsnRange):
+            return NotImplemented
+        return self._start == other._start and self._end == other._end
+
+    def __lt__(self, other: "AsnRange") -> bool:
+        if not isinstance(other, AsnRange):
+            return NotImplemented
+        return (self._start, self._end) < (other._start, other._end)
+
+    def __hash__(self) -> int:
+        return hash(("AsnRange", self._start, self._end))
+
+    def __str__(self) -> str:
+        if self._start == self._end:
+            return f"AS{self._start}"
+        return f"AS{self._start}-AS{self._end}"
+
+    def __repr__(self) -> str:
+        return f"AsnRange({self._start}, {self._end})"
+
+
+class AsnSet:
+    """An immutable, normalized set of AS numbers.
+
+    Mirrors :class:`repro.resources.ranges.ResourceSet` for the AS-number
+    side of RFC 3779 resource extensions.
+    """
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self, ranges: Iterable[AsnRange] = ()):
+        self._ranges = _normalize(ranges)
+
+    @classmethod
+    def of(cls, *asns: ASN | int) -> "AsnSet":
+        return cls(AsnRange.single(a) for a in asns)
+
+    @classmethod
+    def universe(cls) -> "AsnSet":
+        return cls([AsnRange(0, AS_MAX)])
+
+    @classmethod
+    def empty(cls) -> "AsnSet":
+        return cls()
+
+    @property
+    def ranges(self) -> tuple[AsnRange, ...]:
+        return self._ranges
+
+    @property
+    def size(self) -> int:
+        return sum(r.size for r in self._ranges)
+
+    def is_empty(self) -> bool:
+        return not self._ranges
+
+    def covers(self, other: "AsnSet | AsnRange | ASN | int") -> bool:
+        if isinstance(other, (ASN, int)):
+            other = AsnRange.single(other)
+        if isinstance(other, AsnRange):
+            return any(mine.covers(other) for mine in self._ranges)
+        return all(self.covers(r) for r in other._ranges)
+
+    def union(self, other: "AsnSet") -> "AsnSet":
+        return AsnSet(self._ranges + other._ranges)
+
+    def subtract(self, other: "AsnSet | AsnRange | ASN | int") -> "AsnSet":
+        if isinstance(other, (ASN, int)):
+            other = AsnSet([AsnRange.single(other)])
+        elif isinstance(other, AsnRange):
+            other = AsnSet([other])
+        remaining = list(self._ranges)
+        for hole in other._ranges:
+            next_remaining: list[AsnRange] = []
+            for piece in remaining:
+                next_remaining.extend(_subtract_one(piece, hole))
+            remaining = next_remaining
+        return AsnSet(remaining)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, (ASN, int)):
+            return self.covers(item)
+        return False
+
+    def __iter__(self) -> Iterator[AsnRange]:
+        return iter(self._ranges)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AsnSet):
+            return NotImplemented
+        return self._ranges == other._ranges
+
+    def __hash__(self) -> int:
+        return hash(self._ranges)
+
+    def __str__(self) -> str:
+        if not self._ranges:
+            return "{}"
+        return "{" + ", ".join(str(r) for r in self._ranges) + "}"
+
+    def __repr__(self) -> str:
+        return f"AsnSet({list(self._ranges)!r})"
+
+
+def _normalize(ranges: Iterable[AsnRange]) -> tuple[AsnRange, ...]:
+    merged: list[AsnRange] = []
+    for range_ in sorted(ranges):
+        if merged and range_.start <= merged[-1].end + 1:
+            if range_.end > merged[-1].end:
+                merged[-1] = AsnRange(merged[-1].start, range_.end)
+            continue
+        merged.append(range_)
+    return tuple(merged)
+
+
+def _subtract_one(piece: AsnRange, hole: AsnRange) -> list[AsnRange]:
+    if not piece.overlaps(hole):
+        return [piece]
+    out: list[AsnRange] = []
+    if piece.start < hole.start:
+        out.append(AsnRange(piece.start, hole.start - 1))
+    if hole.end < piece.end:
+        out.append(AsnRange(hole.end + 1, piece.end))
+    return out

@@ -1,0 +1,36 @@
+"""Exceptions raised by the resource-algebra layer.
+
+Every error in :mod:`repro.resources` derives from :class:`ResourceError` so
+callers can catch the whole family with one clause while still being able to
+distinguish parse failures from semantic ones.
+"""
+
+from __future__ import annotations
+
+
+class ResourceError(ValueError):
+    """Base class for all resource-algebra errors."""
+
+
+class AddressParseError(ResourceError):
+    """An IP address string could not be parsed."""
+
+
+class PrefixParseError(ResourceError):
+    """An IP prefix string could not be parsed."""
+
+
+class PrefixValueError(ResourceError):
+    """A prefix was structurally invalid (bad length, host bits set, ...)."""
+
+
+class RangeValueError(ResourceError):
+    """An address range was structurally invalid (e.g. start > end)."""
+
+
+class AfiMismatchError(ResourceError):
+    """Two resources of different address families were combined."""
+
+
+class AsnValueError(ResourceError):
+    """An AS number or AS range was out of range or malformed."""

@@ -1,0 +1,189 @@
+"""Low-level IP address arithmetic for IPv4 and IPv6.
+
+Addresses are represented as plain integers tagged with an address family
+(:class:`Afi`).  Keeping the representation primitive makes the higher layers
+(prefixes, ranges, resource sets, tries) fast and trivially hashable, which
+matters because relying-party validation repeatedly compares thousands of
+resource sets.
+
+This module is self-contained on purpose: the reproduction implements its own
+substrate rather than leaning on :mod:`ipaddress`, so that the whole pipeline
+from address parsing to route validity is auditable in one codebase.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+
+from .errors import AddressParseError
+
+__all__ = [
+    "Afi",
+    "parse_address",
+    "format_address",
+    "parse_ipv4",
+    "parse_ipv6",
+    "format_ipv4",
+    "format_ipv6",
+]
+
+_V4_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+class Afi(enum.Enum):
+    """Address family identifier.
+
+    The ``value`` matches the IANA AFI codepoints used in RFC 3779 resource
+    extensions (1 = IPv4, 2 = IPv6), so serialized objects carry the real
+    on-the-wire identifiers.
+    """
+
+    IPV4 = 1
+    IPV6 = 2
+
+    @property
+    def bits(self) -> int:
+        """Number of bits in an address of this family (32 or 128)."""
+        return 32 if self is Afi.IPV4 else 128
+
+    @property
+    def max_address(self) -> int:
+        """The highest representable address as an integer."""
+        return (1 << self.bits) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Afi.{self.name}"
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer.
+
+    Raises :class:`AddressParseError` for anything that is not exactly four
+    decimal octets in range.  Leading zeros are accepted (``010.0.0.1`` is
+    octet 10), matching the behaviour of common router configuration parsers.
+    """
+    match = _V4_RE.match(text.strip())
+    if match is None:
+        raise AddressParseError(f"not an IPv4 address: {text!r}")
+    value = 0
+    for octet_text in match.groups():
+        octet = int(octet_text)
+        if octet > 255:
+            raise AddressParseError(f"IPv4 octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format an integer as a dotted-quad IPv4 address."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise AddressParseError(f"IPv4 address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ipv6(text: str) -> int:
+    """Parse an IPv6 address (RFC 4291 text form) into an integer.
+
+    Supports ``::`` compression and an embedded IPv4 tail
+    (``::ffff:192.0.2.1``).  Zone identifiers are rejected; they have no
+    meaning in routing announcements.
+    """
+    text = text.strip()
+    if "%" in text:
+        raise AddressParseError(f"zone identifiers not supported: {text!r}")
+    if text.count("::") > 1:
+        raise AddressParseError(f"multiple '::' in {text!r}")
+
+    head_text, sep, tail_text = text.partition("::")
+    head = _parse_hextet_run(head_text, text)
+    tail = _parse_hextet_run(tail_text, text) if sep else []
+
+    if sep:
+        missing = 8 - len(head) - len(tail)
+        if missing < 1:
+            raise AddressParseError(f"'::' expands to nothing in {text!r}")
+        groups = head + [0] * missing + tail
+    else:
+        groups = head
+    if len(groups) != 8:
+        raise AddressParseError(f"wrong number of groups in {text!r}")
+
+    value = 0
+    for group in groups:
+        value = (value << 16) | group
+    return value
+
+
+def _parse_hextet_run(run: str, original: str) -> list[int]:
+    """Parse a colon-separated run of hextets, expanding an IPv4 tail."""
+    if not run:
+        return []
+    groups: list[int] = []
+    pieces = run.split(":")
+    for index, piece in enumerate(pieces):
+        if "." in piece:
+            if index != len(pieces) - 1:
+                raise AddressParseError(f"embedded IPv4 not last in {original!r}")
+            v4 = parse_ipv4(piece)
+            groups.append(v4 >> 16)
+            groups.append(v4 & 0xFFFF)
+            continue
+        if not piece or len(piece) > 4:
+            raise AddressParseError(f"bad hextet {piece!r} in {original!r}")
+        try:
+            groups.append(int(piece, 16))
+        except ValueError as exc:
+            raise AddressParseError(f"bad hextet {piece!r} in {original!r}") from exc
+    return groups
+
+
+def format_ipv6(value: int) -> str:
+    """Format an integer as canonical (RFC 5952) IPv6 text.
+
+    The longest run of two or more zero groups is compressed with ``::``;
+    hex digits are lowercase.
+    """
+    if not 0 <= value < (1 << 128):
+        raise AddressParseError(f"IPv6 address out of range: {value}")
+    groups = [(value >> (112 - 16 * i)) & 0xFFFF for i in range(8)]
+
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for i, group in enumerate(groups):
+        if group == 0:
+            if run_start < 0:
+                run_start, run_len = i, 0
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+
+    if best_len < 2:
+        return ":".join(f"{g:x}" for g in groups)
+    head = ":".join(f"{g:x}" for g in groups[:best_start])
+    tail = ":".join(f"{g:x}" for g in groups[best_start + best_len :])
+    return f"{head}::{tail}"
+
+
+def parse_address(text: str, afi: Afi | None = None) -> tuple[Afi, int]:
+    """Parse an address of either family, returning ``(afi, value)``.
+
+    If *afi* is given, only that family is attempted and a mismatching
+    string raises :class:`AddressParseError`.
+    """
+    text = text.strip()
+    looks_v6 = ":" in text
+    if afi is Afi.IPV4 or (afi is None and not looks_v6):
+        return Afi.IPV4, parse_ipv4(text)
+    if afi is Afi.IPV6 or (afi is None and looks_v6):
+        return Afi.IPV6, parse_ipv6(text)
+    raise AddressParseError(f"cannot parse {text!r} as {afi}")
+
+
+def format_address(afi: Afi, value: int) -> str:
+    """Format an integer address of the given family as text."""
+    if afi is Afi.IPV4:
+        return format_ipv4(value)
+    return format_ipv6(value)

@@ -1,0 +1,278 @@
+"""A binary radix trie keyed by IP prefix.
+
+Two hot paths in the reproduction need sub-linear prefix queries:
+
+- RFC 6811 origin validation must find, for a route's prefix, every
+  *covering* ROA (all stored prefixes on the path from the root to the
+  route's node); and
+- the BGP data plane must do longest-prefix-match forwarding among
+  selected routes.
+
+Both are walks down one trie path, so both are O(prefix length).  The trie
+also supports subtree enumeration (everything *covered by* a prefix), which
+the whack planner uses to find collateral damage.
+
+One trie holds one address family; :class:`PrefixMap` wraps a pair of tries
+behind a dict-like interface and is what the higher layers use.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from .ipaddr import Afi
+from .prefix import Prefix
+
+__all__ = ["PrefixTrie", "PrefixMap"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list["_Node[V] | None"] = [None, None]
+        self.value: V | None = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """A map from prefixes of one address family to values.
+
+    Semantics follow :class:`dict` (one value per exact prefix; inserting
+    twice overwrites) with three extra queries: :meth:`longest_match`,
+    :meth:`covering` and :meth:`covered_by`.
+    """
+
+    def __init__(self, afi: Afi):
+        self._afi = afi
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    @property
+    def afi(self) -> Afi:
+        return self._afi
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def _check(self, prefix: Prefix) -> None:
+        if prefix.afi is not self._afi:
+            raise ValueError(
+                f"prefix {prefix} is {prefix.afi.name}, trie is {self._afi.name}"
+            )
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Map *prefix* to *value*, overwriting any existing mapping."""
+        self._check(prefix)
+        node = self._root
+        for position in range(prefix.length):
+            bit = prefix.bit_at(position)
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> V:
+        """Remove the exact mapping for *prefix*, returning its value.
+
+        Raises :class:`KeyError` if absent.  Empty branches are pruned so
+        long-lived tries (the relying party's cache across churn) do not
+        leak nodes.
+        """
+        self._check(prefix)
+        path: list[tuple[_Node[V], int]] = []
+        node = self._root
+        for position in range(prefix.length):
+            bit = prefix.bit_at(position)
+            child = node.children[bit]
+            if child is None:
+                raise KeyError(str(prefix))
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            raise KeyError(str(prefix))
+        value = node.value
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        # Prune now-empty leaf chain.
+        current = node
+        for parent, bit in reversed(path):
+            if current.has_value or any(current.children):
+                break
+            parent.children[bit] = None
+            current = parent
+        assert value is not None or node.has_value is False
+        return value  # type: ignore[return-value]
+
+    # -- exact queries -------------------------------------------------------
+
+    def get(self, prefix: Prefix, default: V | None = None) -> V | None:
+        """The value mapped at exactly *prefix*, or *default*."""
+        self._check(prefix)
+        node = self._root
+        for position in range(prefix.length):
+            child = node.children[prefix.bit_at(position)]
+            if child is None:
+                return default
+            node = child
+        return node.value if node.has_value else default
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        sentinel = object()
+        return self.get(prefix, sentinel) is not sentinel  # type: ignore[arg-type]
+
+    def __getitem__(self, prefix: Prefix) -> V:
+        sentinel = object()
+        value = self.get(prefix, sentinel)  # type: ignore[arg-type]
+        if value is sentinel:
+            raise KeyError(str(prefix))
+        return value  # type: ignore[return-value]
+
+    def __setitem__(self, prefix: Prefix, value: V) -> None:
+        self.insert(prefix, value)
+
+    # -- structural queries ---------------------------------------------------
+
+    def covering(self, prefix: Prefix) -> Iterator[tuple[Prefix, V]]:
+        """Yield every stored (prefix, value) that covers *prefix*.
+
+        Yields shortest (least specific) first.  This is the query behind
+        "is there a covering ROA?" in route-validity classification.
+        """
+        self._check(prefix)
+        node = self._root
+        network = 0
+        bits = self._afi.bits
+        if node.has_value:
+            yield Prefix(self._afi, 0, 0), node.value  # type: ignore[misc]
+        for position in range(prefix.length):
+            bit = prefix.bit_at(position)
+            child = node.children[bit]
+            if child is None:
+                return
+            network |= bit << (bits - 1 - position)
+            node = child
+            if node.has_value:
+                yield Prefix(self._afi, network, position + 1), node.value  # type: ignore[misc]
+
+    def longest_match(self, prefix: Prefix) -> tuple[Prefix, V] | None:
+        """The most-specific stored prefix covering *prefix*, if any.
+
+        With a host prefix argument this is classic longest-prefix-match
+        forwarding lookup.
+        """
+        best: tuple[Prefix, V] | None = None
+        for hit in self.covering(prefix):
+            best = hit
+        return best
+
+    def covered_by(self, prefix: Prefix) -> Iterator[tuple[Prefix, V]]:
+        """Yield every stored (prefix, value) covered by *prefix*.
+
+        Pre-order (shortest first, low branch before high).  The whack
+        planner uses this to enumerate a certificate subtree.
+        """
+        self._check(prefix)
+        node = self._root
+        for position in range(prefix.length):
+            child = node.children[prefix.bit_at(position)]
+            if child is None:
+                return
+            node = child
+        yield from self._walk(node, prefix.network, prefix.length)
+
+    def _walk(
+        self, node: _Node[V], network: int, depth: int
+    ) -> Iterator[tuple[Prefix, V]]:
+        if node.has_value:
+            yield Prefix(self._afi, network, depth), node.value  # type: ignore[misc]
+        bits = self._afi.bits
+        low, high = node.children
+        if low is not None:
+            yield from self._walk(low, network, depth + 1)
+        if high is not None:
+            yield from self._walk(high, network | (1 << (bits - 1 - depth)), depth + 1)
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """All (prefix, value) pairs in trie (address) order."""
+        yield from self._walk(self._root, 0, 0)
+
+    def keys(self) -> Iterator[Prefix]:
+        for prefix, _ in self.items():
+            yield prefix
+
+    def values(self) -> Iterator[V]:
+        for _, value in self.items():
+            yield value
+
+
+class PrefixMap(Generic[V]):
+    """A dual-family prefix map: one :class:`PrefixTrie` per family.
+
+    Presents the same interface as a single trie but accepts prefixes of
+    either family, dispatching on ``prefix.afi``.
+    """
+
+    def __init__(self) -> None:
+        self._tries = {afi: PrefixTrie[V](afi) for afi in Afi}
+
+    def _trie(self, prefix: Prefix) -> PrefixTrie[V]:
+        return self._tries[prefix.afi]
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        self._trie(prefix).insert(prefix, value)
+
+    def remove(self, prefix: Prefix) -> V:
+        return self._trie(prefix).remove(prefix)
+
+    def get(self, prefix: Prefix, default: V | None = None) -> V | None:
+        return self._trie(prefix).get(prefix, default)
+
+    def covering(self, prefix: Prefix) -> Iterator[tuple[Prefix, V]]:
+        return self._trie(prefix).covering(prefix)
+
+    def longest_match(self, prefix: Prefix) -> tuple[Prefix, V] | None:
+        return self._trie(prefix).longest_match(prefix)
+
+    def covered_by(self, prefix: Prefix) -> Iterator[tuple[Prefix, V]]:
+        return self._trie(prefix).covered_by(prefix)
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        for afi in Afi:
+            yield from self._tries[afi].items()
+
+    def keys(self) -> Iterator[Prefix]:
+        for prefix, _ in self.items():
+            yield prefix
+
+    def values(self) -> Iterator[V]:
+        for _, value in self.items():
+            yield value
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._tries.values())
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._trie(prefix)
+
+    def __getitem__(self, prefix: Prefix) -> V:
+        return self._trie(prefix)[prefix]
+
+    def __setitem__(self, prefix: Prefix, value: V) -> None:
+        self.insert(prefix, value)

@@ -1,0 +1,44 @@
+"""The relying party: path validation and route origin validation.
+
+Turns cached repository bytes into validated ROA payloads (VRPs) and
+classifies BGP routes valid / unknown / invalid per RFC 6811 — the
+semantics whose side effects the paper's Section 4 dissects.
+"""
+
+from .alt_semantics import (
+    DispositionVrp,
+    DispositionVrpSet,
+    SubprefixDisposition,
+    classify_disposition,
+)
+from .lta import LocalOverrides, classify_with_overrides
+from .origin import OriginValidationOutcome, classify, explain
+from .pathval import PathValidator, Severity, ValidationIssue, ValidationRun
+from .relying_party import RefreshReport, RelyingParty
+from .states import Route, RouteValidity
+from .suspenders import RetainedVrp, SuspendersRelyingParty
+from .vrp import VRP, VrpSet
+
+__all__ = [
+    "DispositionVrp",
+    "DispositionVrpSet",
+    "LocalOverrides",
+    "SubprefixDisposition",
+    "classify_disposition",
+    "OriginValidationOutcome",
+    "RetainedVrp",
+    "SuspendersRelyingParty",
+    "classify_with_overrides",
+    "PathValidator",
+    "RefreshReport",
+    "RelyingParty",
+    "Route",
+    "RouteValidity",
+    "Severity",
+    "VRP",
+    "ValidationIssue",
+    "ValidationRun",
+    "VrpSet",
+    "classify",
+    "explain",
+]

@@ -1,0 +1,137 @@
+"""Local trust-anchor overrides (the paper's reference [7]).
+
+"RPKI Local Trust Anchor Use Cases" (Bush, IETF draft) describes relying
+parties that locally override the global RPKI: pinning bindings they know
+to be right, and distrusting bindings they believe to be the product of
+manipulation.  This is the relying party's unilateral answer to the
+paper's flipped threat model — if an authority above you can whack your
+ROA, *your own routers* can be configured to keep believing it.
+
+The model here is deliberately small and composable: a
+:class:`LocalOverrides` value transforms a validated VRP set — pins add
+VRPs, filters remove them, and forced states short-circuit classification
+for specific (prefix, origin) pairs — and
+:func:`classify_with_overrides` applies the whole thing to one route.
+Overrides are local policy: they protect (or endanger) only the relying
+party that configures them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..resources import ASN, Prefix
+from .origin import classify
+from .states import Route, RouteValidity
+from .vrp import VRP, VrpSet
+
+__all__ = ["LocalOverrides", "classify_with_overrides"]
+
+
+@dataclass
+class LocalOverrides:
+    """An operator's local amendments to the validated ROA set.
+
+    - ``pinned``: VRPs always present, whatever the RPKI currently says —
+      the anti-whacking pin.
+    - ``filtered``: VRPs always removed — local distrust of a binding
+      believed to be manipulated (e.g. a hijacker's suspicious new ROA).
+    - ``forced``: final states for exact (prefix, origin) routes,
+      consulted before any VRP logic.
+    """
+
+    pinned: list[VRP] = field(default_factory=list)
+    filtered: list[VRP] = field(default_factory=list)
+    forced: dict[Route, RouteValidity] = field(default_factory=dict)
+
+    # -- fluent construction ------------------------------------------------
+
+    def pin(self, prefix_text: str, asn: int) -> "LocalOverrides":
+        """Pin a VRP (paper notation: ``pin("63.174.16.0/20-24", 17054)``)."""
+        self.pinned.append(VRP.parse(prefix_text, asn))
+        return self
+
+    def filter(self, prefix_text: str, asn: int) -> "LocalOverrides":
+        """Locally drop a VRP."""
+        self.filtered.append(VRP.parse(prefix_text, asn))
+        return self
+
+    def force(
+        self, prefix_text: str, asn: int, state: RouteValidity
+    ) -> "LocalOverrides":
+        """Force the final state of one exact route."""
+        self.forced[Route(Prefix.parse(prefix_text), ASN(asn))] = state
+        return self
+
+    # -- application ----------------------------------------------------------
+
+    def apply(self, vrps: VrpSet) -> VrpSet:
+        """The effective VRP set under these overrides."""
+        filtered = set(self.filtered)
+        effective = VrpSet(v for v in vrps if v not in filtered)
+        for vrp in self.pinned:
+            effective.add(vrp)
+        return effective
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.pinned or self.filtered or self.forced)
+
+    # -- SLURM-style serialization ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A SLURM-shaped plain-data form (cf. RFC 8416, which later
+        standardized exactly this kind of local filter/assertion file:
+        ``prefixFilters`` drop VRPs, ``prefixAssertions`` add them)."""
+        return {
+            "slurmVersion": 1,
+            "validationOutputFilters": {
+                "prefixFilters": [
+                    {"prefix": str(v.prefix), "asn": int(v.asn),
+                     "maxPrefixLength": v.max_length}
+                    for v in self.filtered
+                ],
+            },
+            "locallyAddedAssertions": {
+                "prefixAssertions": [
+                    {"prefix": str(v.prefix), "asn": int(v.asn),
+                     "maxPrefixLength": v.max_length}
+                    for v in self.pinned
+                ],
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LocalOverrides":
+        """Rebuild from :meth:`to_dict` output (forced states are local
+        router configuration, not part of the interchange format)."""
+        overrides = cls()
+        filters = data.get("validationOutputFilters", {})
+        for item in filters.get("prefixFilters", []):
+            overrides.filtered.append(VRP(
+                Prefix.parse(item["prefix"]),
+                item["maxPrefixLength"],
+                ASN(item["asn"]),
+            ))
+        assertions = data.get("locallyAddedAssertions", {})
+        for item in assertions.get("prefixAssertions", []):
+            overrides.pinned.append(VRP(
+                Prefix.parse(item["prefix"]),
+                item["maxPrefixLength"],
+                ASN(item["asn"]),
+            ))
+        return overrides
+
+
+def classify_with_overrides(
+    route: Route, vrps: VrpSet, overrides: LocalOverrides
+) -> RouteValidity:
+    """RFC 6811 classification under local overrides.
+
+    Forced states win outright; otherwise classification runs against the
+    pinned-and-filtered VRP set.
+    """
+    forced = overrides.forced.get(route)
+    if forced is not None:
+        return forced
+    return classify(route, overrides.apply(vrps))

@@ -1,0 +1,81 @@
+"""RFC 6811 route origin validation.
+
+The three-state classifier of the paper's Section 4, verbatim:
+
+- **Valid**: there is a valid *matching* ROA — matching origin AS, a
+  prefix that covers the route's prefix, and a maxLength no shorter than
+  the route's prefix length.
+- **Unknown**: there is no valid *covering* ROA at all.
+- **Invalid**: neither — some ROA covers the prefix, but none matches.
+
+The subtlety the paper builds Side Effects 5 and 6 on lives entirely in
+the gap between "covering" and "matching": removing a matching ROA while a
+covering one remains flips a route from valid to *invalid*, not unknown,
+and adding a covering ROA flips unknown routes to invalid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..resources import ASN, Prefix
+from .states import Route, RouteValidity
+from .vrp import VRP, VrpSet
+
+__all__ = ["classify", "explain", "OriginValidationOutcome"]
+
+
+def classify(route: Route, vrps: VrpSet) -> RouteValidity:
+    """Classify one BGP route against a set of validated ROA payloads."""
+    covered = False
+    for vrp in vrps.covering(route.prefix):
+        covered = True
+        if route.prefix.length <= vrp.max_length and vrp.asn == route.origin:
+            return RouteValidity.VALID
+    if covered:
+        return RouteValidity.INVALID
+    return RouteValidity.UNKNOWN
+
+
+@dataclass(frozen=True)
+class OriginValidationOutcome:
+    """A classification together with the evidence behind it."""
+
+    route: Route
+    state: RouteValidity
+    matching: tuple[VRP, ...]
+    covering: tuple[VRP, ...]
+
+    def __str__(self) -> str:
+        return f"{self.route} -> {self.state.value}"
+
+
+def explain(route: Route, vrps: VrpSet) -> OriginValidationOutcome:
+    """Like :func:`classify`, but returns the full evidence.
+
+    Used by the route-validity matrices (Figure 5) and the monitor, which
+    need to show *which* covering ROA made a route invalid.
+    """
+    covering: list[VRP] = []
+    matching: list[VRP] = []
+    for vrp in vrps.covering(route.prefix):
+        covering.append(vrp)
+        if vrp.matches(route.prefix, route.origin):
+            matching.append(vrp)
+    if matching:
+        state = RouteValidity.VALID
+    elif covering:
+        state = RouteValidity.INVALID
+    else:
+        state = RouteValidity.UNKNOWN
+    return OriginValidationOutcome(
+        route=route,
+        state=state,
+        matching=tuple(matching),
+        covering=tuple(covering),
+    )
+
+
+def classify_parts(prefix: Prefix, origin: ASN | int, vrps: VrpSet) -> RouteValidity:
+    """Convenience overload taking the route's parts."""
+    return classify(Route(prefix, ASN(int(origin))), vrps)

@@ -1,0 +1,500 @@
+"""Certificate-path validation: from cached bytes to validated ROAs.
+
+Implements the relying party's core algorithm (RFC 6487/6482/6486
+semantics): starting from trust anchors, walk the certificate hierarchy
+through the cached publication points, checking at every step
+
+- signatures (issuer key signs child object),
+- validity windows against simulated time,
+- revocation against the issuer's CRL,
+- resource coverage (child resources ⊆ issuing certificate's resources —
+  the least-privilege rule whose *shrinking* is the whacking attack), and
+- manifest consistency (with an explicit strictness policy, because the
+  RFCs "do not specify what action should be taken" on mismatch — paper,
+  Section 4).
+
+Everything that fails produces a :class:`ValidationIssue` instead of an
+exception: for a relying party, broken data is an input condition, and the
+paper's entire Section 4 is about what those conditions do to routing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..crypto import sha256_hex
+from ..repository.uri import RsyncUri
+from ..rpki.ca import CRL_FILE, MANIFEST_FILE
+from ..rpki.cert import ResourceCertificate
+from ..rpki.crl import Crl
+from ..rpki.errors import ObjectFormatError
+from ..rpki.manifest import Manifest
+from ..rpki.parse import parse_object
+from ..rpki.ghostbusters import GhostbustersRecord
+from ..rpki.roa import Roa
+from .vrp import VRP, VrpSet
+
+__all__ = [
+    "Severity",
+    "ValidationIssue",
+    "ValidationRun",
+    "PathValidator",
+]
+
+_MAX_DEPTH = 32
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found while validating cached RPKI data."""
+
+    severity: Severity
+    point_uri: str
+    file_name: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.severity.value}] {self.point_uri}{self.file_name}: "
+            f"{self.code}: {self.message}"
+        )
+
+
+@dataclass
+class ValidationRun:
+    """The output of one full path-validation pass."""
+
+    vrps: VrpSet = field(default_factory=VrpSet)
+    validated_cas: list[ResourceCertificate] = field(default_factory=list)
+    validated_roas: list[Roa] = field(default_factory=list)
+    issues: list[ValidationIssue] = field(default_factory=list)
+    # Where each validated ROA was found: roa.hash_hex -> point URI.
+    # Suspenders uses this to check revocation corroboration later.
+    roa_locations: dict[str, str] = field(default_factory=dict)
+    # Validated Ghostbusters contact per publication point URI.
+    contacts: dict[str, GhostbustersRecord] = field(default_factory=dict)
+
+    def errors(self) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.severity is Severity.ERROR]
+
+    def warnings(self) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.severity is Severity.WARNING]
+
+    def has_issue(self, code: str) -> bool:
+        return any(issue.code == code for issue in self.issues)
+
+
+class PathValidator:
+    """Validates a cache snapshot into a :class:`ValidationRun`.
+
+    Parameters
+    ----------
+    trust_anchors:
+        The self-signed certificates configured out of band (the TAL
+        analog).  These are *axioms*: their resources are accepted as-is.
+    strict_manifests:
+        If True, a publication point whose manifest is missing, invalid,
+        stale, or inconsistent with the fetched files is discarded whole.
+        If False (default, matching deployed RP behaviour circa the
+        paper), individual objects are still used and issues are recorded
+        as warnings — the lenient end of the "what to do about incomplete
+        information?" tradeoff.
+    """
+
+    def __init__(
+        self,
+        trust_anchors: list[ResourceCertificate],
+        *,
+        strict_manifests: bool = False,
+    ):
+        if not trust_anchors:
+            raise ValueError("at least one trust anchor is required")
+        self.trust_anchors = list(trust_anchors)
+        self.strict_manifests = strict_manifests
+
+    def run(self, cache_files: dict[str, dict[str, bytes]], now: int) -> ValidationRun:
+        """Validate everything reachable from the trust anchors.
+
+        *cache_files* maps publication point URI → file name → bytes
+        (the shape of :meth:`repro.repository.LocalCache.all_files`).
+        """
+        result = ValidationRun()
+        seen_cas: set[str] = set()
+        for anchor in self.trust_anchors:
+            if not anchor.is_self_signed or not anchor.verify_signature(
+                anchor.subject_key
+            ):
+                result.issues.append(ValidationIssue(
+                    Severity.ERROR, anchor.sia, "", "ta-bad-signature",
+                    f"trust anchor {anchor.subject!r} is not properly self-signed",
+                ))
+                continue
+            if not anchor.is_current(now):
+                result.issues.append(ValidationIssue(
+                    Severity.ERROR, anchor.sia, "", "ta-expired",
+                    f"trust anchor {anchor.subject!r} not valid at t={now}",
+                ))
+                continue
+            result.validated_cas.append(anchor)
+            self._descend(anchor, cache_files, now, result, seen_cas, depth=0)
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _descend(
+        self,
+        ca_cert: ResourceCertificate,
+        cache_files: dict[str, dict[str, bytes]],
+        now: int,
+        result: ValidationRun,
+        seen_cas: set[str],
+        depth: int,
+    ) -> None:
+        """Validate the publication point of one accepted CA certificate."""
+        if depth > _MAX_DEPTH:
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, ca_cert.sia, "", "depth-exceeded",
+                "certificate chain deeper than the validator allows",
+            ))
+            return
+        if ca_cert.subject_key_id in seen_cas:
+            return  # loop guard (malicious self-recertification)
+        seen_cas.add(ca_cert.subject_key_id)
+
+        # Multiple-publication-points support: among the primary SIA and
+        # its mirrors, prefer the first *manifest-consistent* cached copy —
+        # the copies are supposed to be identical, so a corrupted or stale
+        # primary is simply outvoted by a clean mirror.
+        point_uri, files = self._select_point_copy(ca_cert, cache_files, now)
+        if files is None:
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, _normalize(ca_cert.sia), "", "point-missing",
+                f"publication point of {ca_cert.subject!r} absent from cache",
+            ))
+            return
+        if point_uri != _normalize(ca_cert.sia):
+            result.issues.append(ValidationIssue(
+                Severity.WARNING, _normalize(ca_cert.sia), "", "using-mirror",
+                f"primary copy unusable or absent; using mirror {point_uri}",
+            ))
+        ca_key = ca_cert.subject_key
+
+        crl = self._load_crl(point_uri, files, ca_cert, now, result)
+        usable = self._apply_manifest(point_uri, files, ca_cert, now, result)
+        if usable is None:
+            return  # strict mode discarded the point
+
+        for file_name in sorted(usable):
+            if file_name in (CRL_FILE, MANIFEST_FILE):
+                continue
+            data = usable[file_name]
+            try:
+                obj = parse_object(data)
+            except ObjectFormatError as exc:
+                result.issues.append(ValidationIssue(
+                    Severity.ERROR, point_uri, file_name, "parse-failed", str(exc),
+                ))
+                continue
+            if isinstance(obj, ResourceCertificate):
+                child = self._check_child_cert(
+                    point_uri, file_name, obj, ca_cert, crl, now, result
+                )
+                if child is not None:
+                    result.validated_cas.append(child)
+                    self._descend(child, cache_files, now, result, seen_cas,
+                                  depth + 1)
+            elif isinstance(obj, Roa):
+                self._check_roa(point_uri, file_name, obj, ca_cert, crl, now,
+                                result)
+            elif isinstance(obj, GhostbustersRecord):
+                self._check_ghostbusters(point_uri, file_name, obj, ca_cert,
+                                         crl, now, result)
+            else:
+                result.issues.append(ValidationIssue(
+                    Severity.WARNING, point_uri, file_name, "unexpected-type",
+                    f"unexpected object type {obj.TYPE!r} in publication point",
+                ))
+
+    def _select_point_copy(
+        self,
+        ca_cert: ResourceCertificate,
+        cache_files: dict[str, dict[str, bytes]],
+        now: int,
+    ) -> tuple[str, dict[str, bytes] | None]:
+        """Pick which cached copy of a CA's publication point to use.
+
+        Candidates are the primary SIA then each mirror.  A copy is
+        *consistent* when its manifest parses, verifies under the CA key,
+        is current, and every listed file is present with a matching
+        hash.  The first consistent copy wins; if none is consistent, the
+        first cached copy (primary preferred) is returned so its problems
+        surface as ordinary validation issues.
+        """
+        candidates = [_normalize(u) for u in ca_cert.all_publication_uris]
+        first_present: tuple[str, dict[str, bytes]] | None = None
+        for uri in candidates:
+            files = cache_files.get(uri)
+            if files is None:
+                continue
+            if first_present is None:
+                first_present = (uri, files)
+            if self._copy_is_consistent(files, ca_cert, now):
+                return uri, files
+        if first_present is not None:
+            return first_present
+        return _normalize(ca_cert.sia), None
+
+    @staticmethod
+    def _copy_is_consistent(
+        files: dict[str, bytes], ca_cert: ResourceCertificate, now: int
+    ) -> bool:
+        data = files.get(MANIFEST_FILE)
+        if data is None:
+            return False
+        try:
+            manifest = parse_object(data)
+        except ObjectFormatError:
+            return False
+        if not isinstance(manifest, Manifest):
+            return False
+        if not manifest.verify_signature(ca_cert.subject_key):
+            return False
+        if manifest.next_update < now:
+            return False
+        on_disk = {name for name in files if name != MANIFEST_FILE}
+        if manifest.file_names != on_disk:
+            return False
+        return all(
+            sha256_hex(files[name]) == manifest.hash_of(name)
+            for name in on_disk
+        )
+
+    def _load_crl(self, point_uri, files, ca_cert, now, result) -> Crl | None:
+        data = files.get(CRL_FILE)
+        if data is None:
+            result.issues.append(ValidationIssue(
+                Severity.WARNING, point_uri, CRL_FILE, "crl-missing",
+                "no CRL at publication point; revocation cannot be checked",
+            ))
+            return None
+        try:
+            crl = parse_object(data)
+        except ObjectFormatError as exc:
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, CRL_FILE, "crl-parse-failed", str(exc),
+            ))
+            return None
+        if not isinstance(crl, Crl) or not crl.verify_signature(
+            ca_cert.subject_key
+        ):
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, CRL_FILE, "crl-bad-signature",
+                "CRL does not verify under the CA key",
+            ))
+            return None
+        if crl.next_update < now:
+            result.issues.append(ValidationIssue(
+                Severity.WARNING, point_uri, CRL_FILE, "crl-stale",
+                f"CRL nextUpdate {crl.next_update} is in the past (now {now})",
+            ))
+        return crl
+
+    def _apply_manifest(
+        self, point_uri, files, ca_cert, now, result
+    ) -> dict[str, bytes] | None:
+        """Check manifest consistency; returns the usable file dict.
+
+        Returns None if strict mode discards the whole point.
+        """
+        strict_fail: str | None = None
+        data = files.get(MANIFEST_FILE)
+        manifest: Manifest | None = None
+        if data is None:
+            result.issues.append(ValidationIssue(
+                Severity.WARNING, point_uri, MANIFEST_FILE, "manifest-missing",
+                "no manifest; cannot detect missing or extra objects",
+            ))
+            strict_fail = "manifest-missing"
+        else:
+            try:
+                parsed = parse_object(data)
+                manifest = parsed if isinstance(parsed, Manifest) else None
+            except ObjectFormatError:
+                manifest = None
+            if manifest is None or not manifest.verify_signature(
+                ca_cert.subject_key
+            ):
+                result.issues.append(ValidationIssue(
+                    Severity.ERROR, point_uri, MANIFEST_FILE,
+                    "manifest-bad", "manifest unparsable or badly signed",
+                ))
+                manifest = None
+                strict_fail = "manifest-bad"
+
+        usable = {k: v for k, v in files.items() if k != MANIFEST_FILE}
+        if manifest is not None:
+            if manifest.next_update < now:
+                result.issues.append(ValidationIssue(
+                    Severity.WARNING, point_uri, MANIFEST_FILE, "manifest-stale",
+                    f"manifest nextUpdate {manifest.next_update} < now {now}",
+                ))
+                strict_fail = strict_fail or "manifest-stale"
+            on_disk = set(usable)
+            listed = manifest.file_names
+            for missing in sorted(listed - on_disk):
+                result.issues.append(ValidationIssue(
+                    Severity.WARNING, point_uri, missing, "manifest-file-missing",
+                    "file listed in manifest but absent from fetch",
+                ))
+                strict_fail = strict_fail or "manifest-file-missing"
+            for extra in sorted(on_disk - listed):
+                result.issues.append(ValidationIssue(
+                    Severity.WARNING, point_uri, extra, "manifest-file-extra",
+                    "file present but not listed in manifest",
+                ))
+            for file_name in sorted(on_disk & listed):
+                if sha256_hex(usable[file_name]) != manifest.hash_of(file_name):
+                    result.issues.append(ValidationIssue(
+                        Severity.ERROR, point_uri, file_name, "hash-mismatch",
+                        "file bytes do not match the manifest hash",
+                    ))
+                    del usable[file_name]
+                    strict_fail = strict_fail or "hash-mismatch"
+
+        if self.strict_manifests and strict_fail is not None:
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, MANIFEST_FILE, "point-discarded",
+                f"strict mode discarded the point ({strict_fail})",
+            ))
+            return None
+        return usable
+
+    def _check_child_cert(
+        self, point_uri, file_name, cert, ca_cert, crl, now, result
+    ) -> ResourceCertificate | None:
+        if cert.issuer_key_id != ca_cert.subject_key_id:
+            result.issues.append(ValidationIssue(
+                Severity.WARNING, point_uri, file_name, "wrong-issuer",
+                "certificate names a different issuer than this point's CA",
+            ))
+            return None
+        if not cert.verify_signature(ca_cert.subject_key):
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, file_name, "bad-signature",
+                f"certificate for {cert.subject!r} fails signature check",
+            ))
+            return None
+        if not cert.is_current(now):
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, file_name, "expired",
+                f"certificate for {cert.subject!r} not valid at t={now}",
+            ))
+            return None
+        if crl is not None and crl.is_revoked(cert.serial):
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, file_name, "revoked",
+                f"certificate serial {cert.serial} is on the issuer's CRL",
+            ))
+            return None
+        if not ca_cert.ip_resources.covers(cert.ip_resources):
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, file_name, "overclaim",
+                f"certificate for {cert.subject!r} claims resources its "
+                "issuer does not hold",
+            ))
+            return None
+        return cert
+
+    def _check_roa(self, point_uri, file_name, roa, ca_cert, crl, now, result):
+        ee = roa.ee_cert
+        if ee.issuer_key_id != ca_cert.subject_key_id:
+            result.issues.append(ValidationIssue(
+                Severity.WARNING, point_uri, file_name, "wrong-issuer",
+                "ROA's EE certificate names a different issuer",
+            ))
+            return
+        if not ee.verify_signature(ca_cert.subject_key):
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, file_name, "ee-bad-signature",
+                "embedded EE certificate fails signature check",
+            ))
+            return
+        if not ee.is_current(now) or not roa.is_current(now):
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, file_name, "expired",
+                f"ROA {roa.describe()} not valid at t={now}",
+            ))
+            return
+        if crl is not None and crl.is_revoked(ee.serial):
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, file_name, "revoked",
+                f"ROA {roa.describe()} EE serial {ee.serial} is revoked",
+            ))
+            return
+        if not ca_cert.ip_resources.covers(ee.ip_resources):
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, file_name, "overclaim",
+                f"ROA {roa.describe()} EE claims resources the CA lacks",
+            ))
+            return
+        if not roa.verify_signature(ee.subject_key):
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, file_name, "roa-bad-signature",
+                "ROA fails signature check under its EE key",
+            ))
+            return
+        if not ee.ip_resources.covers(roa.resources()):
+            result.issues.append(ValidationIssue(
+                Severity.ERROR, point_uri, file_name, "roa-overclaim",
+                "ROA names prefixes outside its EE certificate",
+            ))
+            return
+        result.validated_roas.append(roa)
+        result.roa_locations[roa.hash_hex] = point_uri
+        for roa_prefix in roa.prefixes:
+            result.vrps.add(VRP(
+                prefix=roa_prefix.prefix,
+                max_length=roa_prefix.effective_max_length,
+                asn=roa.asn,
+            ))
+
+    def _check_ghostbusters(
+        self, point_uri, file_name, record, ca_cert, crl, now, result
+    ):
+        """Validate a contact record: same EE discipline as a ROA."""
+        ee = record.ee_cert
+        if (
+            ee.issuer_key_id != ca_cert.subject_key_id
+            or not ee.verify_signature(ca_cert.subject_key)
+            or not record.verify_signature(ee.subject_key)
+        ):
+            result.issues.append(ValidationIssue(
+                Severity.WARNING, point_uri, file_name, "gbr-bad-signature",
+                "ghostbusters record fails its signature chain",
+            ))
+            return
+        if not ee.is_current(now) or not record.is_current(now):
+            result.issues.append(ValidationIssue(
+                Severity.WARNING, point_uri, file_name, "gbr-expired",
+                "ghostbusters record expired",
+            ))
+            return
+        if crl is not None and crl.is_revoked(ee.serial):
+            result.issues.append(ValidationIssue(
+                Severity.WARNING, point_uri, file_name, "gbr-revoked",
+                "ghostbusters record EE certificate revoked",
+            ))
+            return
+        result.contacts[point_uri] = record
+
+
+def _normalize(sia: str) -> str:
+    """Normalize an SIA string to the cache's canonical URI form."""
+    return str(RsyncUri.parse(sia))

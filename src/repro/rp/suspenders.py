@@ -1,0 +1,163 @@
+"""A Suspenders-style fail-safe against unauthorized whacking.
+
+The paper points to "Suspenders: A Fail-safe Mechanism for the RPKI"
+(Kent & Mandelberg, IETF draft, its reference [25]) as a concurrent step
+toward hardening the RPKI against the very manipulations Sections 3-4
+describe.  The idea, reproduced here in relying-party form:
+
+    A relying party remembers the ROAs it has previously validated.  When
+    a ROA *disappears* without corroboration — no CRL entry for its EE
+    certificate, no natural expiry — the disappearance is treated as a
+    potential manipulation and the old ROA's payload is kept in force for
+    a configurable grace period.
+
+This directly blunts every stealthy whack in the taxonomy (deletion,
+overwrite-shrink, make-before-break): the victim's routes stay valid for
+the grace window, buying time for the out-of-band dispute the paper says
+targets otherwise lack.  Transparent revocations (CRL-backed) and natural
+expiries still take effect immediately — the fail-safe defers only to
+*evidence*.
+
+The cost is the flip side the paper predicts for any such mechanism: a
+legitimate-but-sloppy removal (no CRL entry) also lingers for the grace
+period, so the fail-safe trades attack robustness against responsiveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rpki.ca import CRL_FILE
+from ..rpki.crl import Crl
+from ..rpki.errors import ObjectFormatError
+from ..rpki.parse import parse_object
+from .origin import classify
+from .relying_party import RefreshReport, RelyingParty
+from .states import Route, RouteValidity
+from .vrp import VRP, VrpSet
+
+__all__ = ["RetainedVrp", "SuspendersRelyingParty"]
+
+
+@dataclass
+class RetainedVrp:
+    """One VRP kept alive past its ROA's disappearance."""
+
+    vrp: VRP
+    retained_since: int
+    expires_at: int          # min(roa.not_after, retained_since + grace)
+    home_point: str
+    ee_serial: int           # for late CRL corroboration checks
+    reason: str              # why the disappearance looked uncorroborated
+
+    def active(self, now: int) -> bool:
+        return now <= self.expires_at
+
+
+class SuspendersRelyingParty:
+    """Wraps a :class:`RelyingParty` with the retain-on-whack fail-safe.
+
+    Use exactly like a relying party: :meth:`refresh` then
+    :meth:`classify`.  The effective VRP set is the natural validation
+    output plus any retained VRPs still inside their grace window.
+    """
+
+    def __init__(self, rp: RelyingParty, clock, *, grace_seconds: int):
+        if grace_seconds <= 0:
+            raise ValueError(f"grace period must be positive: {grace_seconds}")
+        self.rp = rp
+        self.grace_seconds = grace_seconds
+        self._clock = clock
+        self._retained: dict[VRP, RetainedVrp] = {}
+        # The previous run's evidence: vrp -> (ee_serial, not_after, point).
+        self._provenance: dict[VRP, tuple[int, int, str]] = {}
+
+    # -- refresh cycle -------------------------------------------------------
+
+    def refresh(self) -> RefreshReport:
+        report = self.rp.refresh()
+        now = self._clock.now
+        natural = report.run.vrps
+        revoked_by_point = self._revocations_in_cache()
+
+        # Which previously known VRPs vanished this cycle?
+        for vrp, (ee_serial, not_after, point) in self._provenance.items():
+            if vrp in natural or vrp in self._retained:
+                continue
+            if not_after < now:
+                continue  # natural expiry: honored immediately
+            if ee_serial in revoked_by_point.get(point, frozenset()):
+                continue  # transparent revocation: honored immediately
+            self._retained[vrp] = RetainedVrp(
+                vrp=vrp,
+                retained_since=now,
+                expires_at=min(not_after, now + self.grace_seconds),
+                home_point=point,
+                ee_serial=ee_serial,
+                reason="disappeared without CRL corroboration",
+            )
+
+        # Prune: reappeared naturally, since-corroborated, or grace over.
+        for vrp in list(self._retained):
+            entry = self._retained[vrp]
+            if vrp in natural or not entry.active(now):
+                del self._retained[vrp]
+            elif entry.ee_serial in revoked_by_point.get(
+                entry.home_point, frozenset()
+            ):
+                del self._retained[vrp]  # authority followed up properly
+
+        # Update provenance from this run's validated ROAs.
+        self._provenance = {}
+        run = report.run
+        for roa in run.validated_roas:
+            point = run.roa_locations.get(roa.hash_hex, "")
+            for roa_prefix in roa.prefixes:
+                vrp = VRP(
+                    roa_prefix.prefix,
+                    roa_prefix.effective_max_length,
+                    roa.asn,
+                )
+                self._provenance[vrp] = (
+                    roa.ee_cert.serial, roa.not_after, point
+                )
+        return report
+
+    def _revocations_in_cache(self) -> dict[str, frozenset[int]]:
+        """Per publication point, the serials its cached CRL revokes."""
+        out: dict[str, frozenset[int]] = {}
+        for uri, files in self.rp.cache.all_files().items():
+            data = files.get(CRL_FILE)
+            if data is None:
+                continue
+            try:
+                crl = parse_object(data)
+            except ObjectFormatError:
+                continue
+            if isinstance(crl, Crl):
+                out[uri] = crl.revoked_serials
+        return out
+
+    # -- classification surface -------------------------------------------------
+
+    @property
+    def retained(self) -> list[RetainedVrp]:
+        """Currently active retentions (the fail-safe's working set)."""
+        now = self._clock.now
+        return [r for r in self._retained.values() if r.active(now)]
+
+    @property
+    def vrps(self) -> VrpSet:
+        """Natural VRPs plus retained ones still in grace."""
+        now = self._clock.now
+        effective = VrpSet(self.rp.vrps)
+        for entry in self._retained.values():
+            if entry.active(now):
+                effective.add(entry.vrp)
+        return effective
+
+    def classify(self, route: Route) -> RouteValidity:
+        return classify(route, self.vrps)
+
+    def classify_parts(self, prefix_text: str, origin: int) -> RouteValidity:
+        return self.classify(Route.parse(prefix_text, origin))

@@ -1,0 +1,106 @@
+"""Validated ROA payloads (VRPs) and the indexed set route validation uses.
+
+Path validation reduces every valid ROA to one or more VRPs — the triple
+``(prefix, maxLength, asn)`` of RFC 6811.  :class:`VrpSet` indexes them in
+a radix trie so that finding the *covering* VRPs of a route (the central
+query of origin validation) is a single trie walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..resources import ASN, Prefix, PrefixMap
+
+__all__ = ["VRP", "VrpSet"]
+
+
+@dataclass(frozen=True, order=True)
+class VRP:
+    """One validated ROA payload: prefix, maxLength, origin ASN."""
+
+    prefix: Prefix
+    max_length: int
+    asn: ASN
+
+    def __post_init__(self) -> None:
+        if not self.prefix.length <= self.max_length <= self.prefix.afi.bits:
+            raise ValueError(
+                f"maxLength {self.max_length} out of range for {self.prefix}"
+            )
+
+    @classmethod
+    def parse(cls, text: str, asn: ASN | int) -> "VRP":
+        """Parse the paper's ``"63.160.0.0/12-13"`` notation."""
+        from ..rpki.roa import RoaPrefix
+
+        roa_prefix = RoaPrefix.parse(text)
+        return cls(
+            prefix=roa_prefix.prefix,
+            max_length=roa_prefix.effective_max_length,
+            asn=ASN(int(asn)),
+        )
+
+    def covers(self, prefix: Prefix) -> bool:
+        """True if this VRP is a *covering* ROA for the prefix (any ASN)."""
+        return self.prefix.covers(prefix)
+
+    def matches(self, prefix: Prefix, origin: ASN) -> bool:
+        """The RFC 6811 *matching* test: covers, within maxLength, same AS."""
+        return (
+            self.prefix.covers(prefix)
+            and prefix.length <= self.max_length
+            and self.asn == origin
+        )
+
+    def __str__(self) -> str:
+        if self.max_length == self.prefix.length:
+            return f"({self.prefix}, {self.asn})"
+        return f"({self.prefix}-{self.max_length}, {self.asn})"
+
+
+class VrpSet:
+    """An immutable-after-build, trie-indexed collection of VRPs."""
+
+    def __init__(self, vrps: Iterable[VRP] = ()):
+        self._index: PrefixMap[list[VRP]] = PrefixMap()
+        self._all: list[VRP] = []
+        for vrp in vrps:
+            self.add(vrp)
+
+    def add(self, vrp: VRP) -> None:
+        bucket = self._index.get(vrp.prefix)
+        if bucket is None:
+            bucket = []
+            self._index.insert(vrp.prefix, bucket)
+        if vrp not in bucket:
+            bucket.append(vrp)
+            self._all.append(vrp)
+
+    def covering(self, prefix: Prefix) -> Iterator[VRP]:
+        """All VRPs whose prefix covers *prefix*, least-specific first."""
+        for _, bucket in self._index.covering(prefix):
+            yield from bucket
+
+    def __iter__(self) -> Iterator[VRP]:
+        return iter(sorted(self._all))
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __contains__(self, vrp: VRP) -> bool:
+        bucket = self._index.get(vrp.prefix)
+        return bucket is not None and vrp in bucket
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VrpSet):
+            return NotImplemented
+        return sorted(self._all) == sorted(other._all)
+
+    def difference(self, other: "VrpSet") -> list[VRP]:
+        """VRPs present here but not in *other* (for monitor diffs)."""
+        return [vrp for vrp in sorted(self._all) if vrp not in other]
+
+    def __repr__(self) -> str:
+        return f"VrpSet({len(self._all)} VRPs)"

@@ -1,0 +1,160 @@
+"""Resource certificates and end-entity certificates (RFC 6487 profile).
+
+A resource certificate (RC) binds a public key to a set of IP and AS
+resources and names the repository publication point where the subject
+publishes (the SIA pointer — the detail that makes great-grandchild
+whacking noisier, Side Effect 4).  An end-entity (EE) certificate is the
+one-time-use certificate that signs a single ROA (paper, footnote 3).
+"""
+
+from __future__ import annotations
+
+from ..crypto import KeyPair, RsaPublicKey, key_id_of
+from ..resources import AsnSet, ResourceSet
+from .errors import ObjectFormatError
+from .objects import (
+    SignedObject,
+    asn_set_from_data,
+    asn_set_to_data,
+    resource_set_from_data,
+    resource_set_to_data,
+)
+
+__all__ = ["ResourceCertificate", "EECertificate", "build_certificate"]
+
+
+class _BaseCertificate(SignedObject):
+    """Shared accessors for RC and EE certificates."""
+
+    __slots__ = ("_ip_resources", "_as_resources")
+
+    def __init__(self, payload: dict, signature: bytes):
+        super().__init__(payload, signature)
+        self._ip_resources = resource_set_from_data(payload["ip_resources"])
+        self._as_resources = asn_set_from_data(payload["as_resources"])
+
+    @property
+    def subject(self) -> str:
+        """The subject's handle (human-readable authority name)."""
+        return self.payload["subject"]
+
+    @property
+    def subject_key(self) -> RsaPublicKey:
+        return RsaPublicKey.from_dict(self.payload["subject_key"])
+
+    @property
+    def subject_key_id(self) -> str:
+        return self.payload["subject_key_id"]
+
+    @property
+    def ip_resources(self) -> ResourceSet:
+        """The IP addresses this certificate binds to the subject key."""
+        return self._ip_resources
+
+    @property
+    def as_resources(self) -> AsnSet:
+        """The AS numbers this certificate binds to the subject key."""
+        return self._as_resources
+
+    @property
+    def sia(self) -> str:
+        """Subject Information Access: URI of the subject's publication
+        point — where objects *issued by the subject* are published."""
+        return self.payload["sia"]
+
+    @property
+    def sia_mirrors(self) -> tuple[str, ...]:
+        """Additional publication points carrying the same objects.
+
+        The multiple-publication-points extension (the IETF direction the
+        paper cites as a step toward hardening delivery): a relying party
+        that cannot reach the primary SIA tries these in order.
+        """
+        return tuple(self.payload.get("sia_mirrors", []))
+
+    @property
+    def all_publication_uris(self) -> tuple[str, ...]:
+        """Primary SIA followed by mirrors (empty SIA yields nothing)."""
+        if not self.sia:
+            return ()
+        return (self.sia, *self.sia_mirrors)
+
+    @property
+    def crldp(self) -> str:
+        """CRL distribution point: URI of the *issuer's* CRL."""
+        return self.payload["crldp"]
+
+    @property
+    def is_self_signed(self) -> bool:
+        """True for trust anchors (issuer key == subject key)."""
+        return self.issuer_key_id == self.subject_key_id
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(subject={self.subject!r}, "
+            f"serial={self.serial}, ip={self._ip_resources})"
+        )
+
+
+class ResourceCertificate(_BaseCertificate):
+    """A CA certificate: the subject may issue further RPKI objects."""
+
+    TYPE = "rc"
+    __slots__ = ()
+
+
+class EECertificate(_BaseCertificate):
+    """A one-time-use end-entity certificate (signs exactly one ROA)."""
+
+    TYPE = "ee"
+    __slots__ = ()
+
+
+def build_certificate(
+    *,
+    issuer_key: KeyPair,
+    issuer_key_id: str,
+    subject: str,
+    subject_key: RsaPublicKey,
+    ip_resources: ResourceSet,
+    as_resources: AsnSet | None = None,
+    serial: int,
+    not_before: int,
+    not_after: int,
+    sia: str,
+    sia_mirrors: list[str] | None = None,
+    crldp: str,
+    is_ca: bool = True,
+) -> ResourceCertificate | EECertificate:
+    """Sign and return a certificate.
+
+    This is a pure constructor: resource-coverage policy (may the issuer
+    actually delegate these resources?) is enforced by the CA engine in
+    :mod:`repro.rpki.ca`, not here — a *misbehaving* authority bypasses the
+    engine's checks precisely by calling this directly, which is how the
+    attack tooling models rogue issuance.
+    """
+    if not_after < not_before:
+        raise ObjectFormatError(
+            f"certificate expires ({not_after}) before it starts ({not_before})"
+        )
+    cls = ResourceCertificate if is_ca else EECertificate
+    payload = {
+        "type": cls.TYPE,
+        "serial": serial,
+        "issuer_key_id": issuer_key_id,
+        "subject": subject,
+        "subject_key": subject_key.to_dict(),
+        "subject_key_id": key_id_of(subject_key),
+        "ip_resources": resource_set_to_data(ip_resources),
+        "as_resources": asn_set_to_data(as_resources or AsnSet.empty()),
+        "not_before": not_before,
+        "not_after": not_after,
+        "sia": sia,
+        "sia_mirrors": list(sia_mirrors or []),
+        "crldp": crldp,
+    }
+    from ..crypto import encode  # local import to keep module deps one-way
+
+    signature = issuer_key.sign(encode(payload))
+    return cls(payload, signature)

@@ -1,0 +1,89 @@
+"""Ghostbusters records (RFC 6493): who you gonna call?
+
+A Ghostbusters record is a signed vCard published alongside a CA's other
+objects, carrying human contact information.  It exists for exactly the
+situations this reproduction is about: when validation breaks — a ROA
+whacked, a repository dark, a certificate shrunk — the relying party or
+monitor needs someone to phone.  The monitor layer attaches these contacts
+to its alerts, and the paper's "little recourse" discussion (Section 3)
+is in practice mediated through them.
+
+Like a ROA, a record is signed by a one-time EE certificate issued by the
+publishing CA.
+"""
+
+from __future__ import annotations
+
+from ..crypto import KeyPair, encode
+from .cert import EECertificate
+from .errors import ObjectFormatError
+from .objects import SignedObject
+
+__all__ = ["GhostbustersRecord", "build_ghostbusters", "GHOSTBUSTERS_FILE"]
+
+GHOSTBUSTERS_FILE = "ca.gbr"
+
+_ALLOWED_FIELDS = frozenset({"fn", "org", "email", "tel", "adr"})
+
+
+class GhostbustersRecord(SignedObject):
+    """A signed contact card for one authority."""
+
+    TYPE = "gbr"
+
+    __slots__ = ("_ee_cert",)
+
+    def __init__(self, payload: dict, signature: bytes):
+        super().__init__(payload, signature)
+        vcard = payload.get("vcard")
+        if not isinstance(vcard, dict) or "fn" not in vcard:
+            raise ObjectFormatError("ghostbusters record needs a vCard with fn")
+        unknown = set(vcard) - _ALLOWED_FIELDS
+        if unknown:
+            raise ObjectFormatError(f"unknown vCard fields: {sorted(unknown)}")
+        ee_payload, ee_signature = SignedObject.bytes_to_parts(
+            payload["ee_cert"]
+        )
+        self._ee_cert = EECertificate(ee_payload, ee_signature)
+
+    @property
+    def vcard(self) -> dict[str, str]:
+        return dict(self.payload["vcard"])
+
+    @property
+    def full_name(self) -> str:
+        """The vCard FN field — the responsible party's name."""
+        return self.payload["vcard"]["fn"]
+
+    @property
+    def email(self) -> str | None:
+        return self.payload["vcard"].get("email")
+
+    @property
+    def ee_cert(self) -> EECertificate:
+        return self._ee_cert
+
+    def __repr__(self) -> str:
+        return f"GhostbustersRecord(fn={self.full_name!r})"
+
+
+def build_ghostbusters(
+    *,
+    ee_key: KeyPair,
+    ee_cert: EECertificate,
+    vcard: dict[str, str],
+    serial: int,
+    not_before: int,
+    not_after: int,
+) -> GhostbustersRecord:
+    """Sign a Ghostbusters record with its EE key."""
+    payload = {
+        "type": GhostbustersRecord.TYPE,
+        "serial": serial,
+        "issuer_key_id": ee_cert.subject_key_id,
+        "vcard": dict(vcard),
+        "ee_cert": ee_cert.to_bytes(),
+        "not_before": not_before,
+        "not_after": not_after,
+    }
+    return GhostbustersRecord(payload, ee_key.sign(encode(payload)))

@@ -1,0 +1,199 @@
+"""The signed-object core of the model RPKI.
+
+Every RPKI object — resource certificate, EE certificate, ROA, CRL,
+manifest — is a canonical payload dictionary plus an RSA signature over its
+encoding.  The payload layouts mirror the fields of the production profiles
+(RFC 6487 certificates, RFC 6482 ROAs, RFC 5280 CRLs, RFC 6486 manifests)
+at the granularity the paper's analysis needs.
+
+Objects are immutable once constructed; "overwriting" an object in a
+repository (the stealthy-revocation primitive of Side Effect 2) means
+publishing a *different* object under the same file name, never mutating
+one in place.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..crypto import RsaPublicKey, decode, encode, sha256_hex
+from ..resources import (
+    AddressRange,
+    Afi,
+    AsnRange,
+    AsnSet,
+    Prefix,
+    ResourceSet,
+)
+from .errors import ObjectFormatError
+
+__all__ = [
+    "SignedObject",
+    "resource_set_to_data",
+    "resource_set_from_data",
+    "asn_set_to_data",
+    "asn_set_from_data",
+    "prefix_to_data",
+    "prefix_from_data",
+]
+
+
+def resource_set_to_data(resources: ResourceSet) -> list:
+    """Encode a ResourceSet as ``[[afi, start, end], ...]`` (sorted)."""
+    return [[r.afi.value, r.start, r.end] for r in resources.ranges]
+
+
+def resource_set_from_data(data: Any) -> ResourceSet:
+    """Decode the output of :func:`resource_set_to_data`."""
+    if not isinstance(data, list):
+        raise ObjectFormatError(f"resource set must be a list, got {type(data)}")
+    ranges = []
+    for item in data:
+        try:
+            afi_value, start, end = item
+            ranges.append(AddressRange(Afi(afi_value), start, end))
+        except (TypeError, ValueError) as exc:
+            raise ObjectFormatError(f"bad resource range {item!r}: {exc}") from exc
+    return ResourceSet(ranges)
+
+
+def asn_set_to_data(asns: AsnSet) -> list:
+    """Encode an AsnSet as ``[[start, end], ...]`` (sorted)."""
+    return [[r.start, r.end] for r in asns.ranges]
+
+
+def asn_set_from_data(data: Any) -> AsnSet:
+    """Decode the output of :func:`asn_set_to_data`."""
+    if not isinstance(data, list):
+        raise ObjectFormatError(f"ASN set must be a list, got {type(data)}")
+    ranges = []
+    for item in data:
+        try:
+            start, end = item
+            ranges.append(AsnRange(start, end))
+        except (TypeError, ValueError) as exc:
+            raise ObjectFormatError(f"bad ASN range {item!r}: {exc}") from exc
+    return AsnSet(ranges)
+
+
+def prefix_to_data(prefix: Prefix) -> list:
+    """Encode a Prefix as ``[afi, network, length]``."""
+    return [prefix.afi.value, prefix.network, prefix.length]
+
+
+def prefix_from_data(data: Any) -> Prefix:
+    """Decode the output of :func:`prefix_to_data`."""
+    try:
+        afi_value, network, length = data
+        return Prefix(Afi(afi_value), network, length)
+    except (TypeError, ValueError) as exc:
+        raise ObjectFormatError(f"bad prefix {data!r}: {exc}") from exc
+
+
+class SignedObject:
+    """Base class: a canonical payload plus a signature over its encoding.
+
+    Subclasses define ``TYPE`` (the payload's ``"type"`` discriminator) and
+    expose typed accessors over ``self.payload``.  Equality and hashing are
+    by serialized bytes, so two objects are "the same object" exactly when
+    a manifest hash or monitor diff would say so.
+    """
+
+    TYPE = ""
+
+    __slots__ = ("_payload", "_signature", "_encoded_payload", "_hash_hex")
+
+    def __init__(self, payload: dict, signature: bytes):
+        if self.TYPE and payload.get("type") != self.TYPE:
+            raise ObjectFormatError(
+                f"payload type {payload.get('type')!r} != expected {self.TYPE!r}"
+            )
+        self._payload = payload
+        self._signature = signature
+        self._encoded_payload = encode(payload)
+        self._hash_hex = sha256_hex(self.to_bytes())
+
+    # -- signing surface -----------------------------------------------------
+
+    @property
+    def payload(self) -> dict:
+        """The payload dictionary.  Treat as read-only."""
+        return self._payload
+
+    @property
+    def signature(self) -> bytes:
+        return self._signature
+
+    @property
+    def signed_bytes(self) -> bytes:
+        """The exact bytes the signature covers."""
+        return self._encoded_payload
+
+    def verify_signature(self, public_key: RsaPublicKey) -> bool:
+        """True iff the signature verifies under *public_key*."""
+        return public_key.verify(self._encoded_payload, self._signature)
+
+    # -- wire form -------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the whole object (payload + signature)."""
+        return encode([self._payload, self._signature])
+
+    @classmethod
+    def bytes_to_parts(cls, blob: bytes) -> tuple[dict, bytes]:
+        """Split a serialized object into (payload, signature).
+
+        Raises :class:`ObjectFormatError` on any structural problem; this
+        is the choke point through which every fetched byte string passes,
+        so corruption injected by the fault layer surfaces here.
+        """
+        try:
+            decoded = decode(blob)
+        except Exception as exc:
+            raise ObjectFormatError(f"undecodable object: {exc}") from exc
+        if (
+            not isinstance(decoded, list)
+            or len(decoded) != 2
+            or not isinstance(decoded[0], dict)
+            or not isinstance(decoded[1], bytes)
+        ):
+            raise ObjectFormatError("object is not [payload, signature]")
+        return decoded[0], decoded[1]
+
+    @property
+    def hash_hex(self) -> str:
+        """SHA-256 of the serialized object — the manifest entry value."""
+        return self._hash_hex
+
+    # -- common payload fields ----------------------------------------------------
+
+    @property
+    def serial(self) -> int:
+        return self._payload["serial"]
+
+    @property
+    def issuer_key_id(self) -> str:
+        """Key identifier of the signing authority."""
+        return self._payload["issuer_key_id"]
+
+    @property
+    def not_before(self) -> int:
+        return self._payload["not_before"]
+
+    @property
+    def not_after(self) -> int:
+        return self._payload["not_after"]
+
+    def is_current(self, now: int) -> bool:
+        """True iff *now* falls inside the validity window."""
+        return self.not_before <= now <= self.not_after
+
+    # -- value semantics --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignedObject):
+            return NotImplemented
+        return self.to_bytes() == other.to_bytes()
+
+    def __hash__(self) -> int:
+        return hash(self._hash_hex)

@@ -1,0 +1,48 @@
+"""Parsing fetched bytes back into typed RPKI objects.
+
+Everything a relying party fetches comes through :func:`parse_object` —
+this is where corrupted, truncated, or alien bytes get rejected, turning
+the fault layer's injected noise into the "missing object" condition the
+paper analyzes.
+"""
+
+from __future__ import annotations
+
+from .cert import EECertificate, ResourceCertificate
+from .crl import Crl
+from .errors import ObjectFormatError
+from .ghostbusters import GhostbustersRecord
+from .manifest import Manifest
+from .objects import SignedObject
+from .roa import Roa
+
+__all__ = ["parse_object", "OBJECT_TYPES"]
+
+OBJECT_TYPES: dict[str, type[SignedObject]] = {
+    ResourceCertificate.TYPE: ResourceCertificate,
+    EECertificate.TYPE: EECertificate,
+    Roa.TYPE: Roa,
+    GhostbustersRecord.TYPE: GhostbustersRecord,
+    Crl.TYPE: Crl,
+    Manifest.TYPE: Manifest,
+}
+
+
+def parse_object(blob: bytes) -> SignedObject:
+    """Parse serialized bytes into the right :class:`SignedObject` subclass.
+
+    Raises :class:`ObjectFormatError` for anything structurally wrong:
+    undecodable bytes, unknown type tags, or payloads that fail the
+    subclass's own field validation.
+    """
+    payload, signature = SignedObject.bytes_to_parts(blob)
+    type_tag = payload.get("type")
+    cls = OBJECT_TYPES.get(type_tag)
+    if cls is None:
+        raise ObjectFormatError(f"unknown object type {type_tag!r}")
+    try:
+        return cls(payload, signature)
+    except ObjectFormatError:
+        raise
+    except Exception as exc:
+        raise ObjectFormatError(f"malformed {type_tag} object: {exc}") from exc

@@ -1,0 +1,75 @@
+"""The publication-point protocol between authorities and repositories.
+
+"RPKI objects are stored at directories that are controlled by their
+issuer" (paper, Section 3): each CA has exactly one publication point and
+unilaterally decides its contents.  The CA engine writes through this
+small protocol; :mod:`repro.repository` provides the hosted implementation
+whose *reachability* the Section 6 circularity analysis cares about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+__all__ = ["PublicationTarget", "InMemoryPublicationPoint"]
+
+
+@runtime_checkable
+class PublicationTarget(Protocol):
+    """What a CA needs from wherever its objects are published."""
+
+    def put(self, name: str, data: bytes) -> None:
+        """Create or overwrite the file *name*."""
+
+    def delete(self, name: str) -> None:
+        """Remove the file *name* (no error if absent)."""
+
+    def get(self, name: str) -> bytes | None:
+        """The current bytes of *name*, or None."""
+
+    def names(self) -> Iterator[str]:
+        """All current file names."""
+
+
+class InMemoryPublicationPoint:
+    """A plain dict-backed publication point.
+
+    Used directly in unit tests and wrapped by the repository layer's
+    hosted points.  Keeps a monotonic revision counter so monitors can
+    cheaply detect "anything changed here?".
+    """
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytes] = {}
+        self._revision = 0
+
+    @property
+    def revision(self) -> int:
+        """Bumped on every mutation."""
+        return self._revision
+
+    def put(self, name: str, data: bytes) -> None:
+        if not name:
+            raise ValueError("publication file name must be non-empty")
+        self._files[name] = data
+        self._revision += 1
+
+    def delete(self, name: str) -> None:
+        if self._files.pop(name, None) is not None:
+            self._revision += 1
+
+    def get(self, name: str) -> bytes | None:
+        return self._files.get(name)
+
+    def names(self) -> Iterator[str]:
+        return iter(sorted(self._files))
+
+    def snapshot(self) -> dict[str, bytes]:
+        """A copy of the full current contents."""
+        return dict(self._files)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files

@@ -1,0 +1,139 @@
+"""Route Origin Authorizations (RFC 6482 profile).
+
+A ROA authorizes one origin AS to announce a set of prefixes, each with an
+optional *maxLength*: the ROA ``(63.160.0.0/12-13, AS 1239)`` of Figure 5
+authorizes AS 1239 to originate the /12 and any subprefix down to /13.
+
+A ROA is a signed object whose signer is a one-time-use EE certificate;
+the EE certificate travels embedded in the ROA (as in CMS), and its IP
+resources must cover the ROA's prefixes — the relying party checks both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import KeyPair, encode
+from ..resources import ASN, Prefix, ResourceSet
+from .cert import EECertificate
+from .errors import ObjectFormatError
+from .objects import SignedObject, prefix_from_data, prefix_to_data
+
+__all__ = ["RoaPrefix", "Roa", "build_roa"]
+
+
+@dataclass(frozen=True)
+class RoaPrefix:
+    """One (prefix, maxLength) entry of a ROA.
+
+    ``max_length`` of ``None`` means "not specified", which RFC 6482
+    defines as equivalent to the prefix's own length: only the exact
+    prefix is authorized.
+    """
+
+    prefix: Prefix
+    max_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_length is not None:
+            if not self.prefix.length <= self.max_length <= self.prefix.afi.bits:
+                raise ObjectFormatError(
+                    f"maxLength {self.max_length} invalid for {self.prefix}"
+                )
+
+    @property
+    def effective_max_length(self) -> int:
+        """The maxLength actually in force (prefix length if unspecified)."""
+        if self.max_length is None:
+            return self.prefix.length
+        return self.max_length
+
+    @classmethod
+    def parse(cls, text: str) -> "RoaPrefix":
+        """Parse the paper's notation: ``"63.160.0.0/12-13"`` or a bare prefix."""
+        body, dash, max_text = text.strip().rpartition("-")
+        if dash and "/" in body:
+            return cls(Prefix.parse(body), int(max_text))
+        return cls(Prefix.parse(text))
+
+    def __str__(self) -> str:
+        if self.max_length is None or self.max_length == self.prefix.length:
+            return str(self.prefix)
+        return f"{self.prefix}-{self.max_length}"
+
+
+class Roa(SignedObject):
+    """A signed Route Origin Authorization with its embedded EE certificate."""
+
+    TYPE = "roa"
+
+    __slots__ = ("_prefixes", "_ee_cert")
+
+    def __init__(self, payload: dict, signature: bytes):
+        super().__init__(payload, signature)
+        self._prefixes = tuple(
+            RoaPrefix(prefix_from_data(p), max_length if max_length >= 0 else None)
+            for p, max_length in payload["prefixes"]
+        )
+        ee_payload, ee_signature = SignedObject.bytes_to_parts(payload["ee_cert"])
+        self._ee_cert = EECertificate(ee_payload, ee_signature)
+
+    @property
+    def asn(self) -> ASN:
+        """The single origin AS this ROA authorizes."""
+        return ASN(self.payload["asn"])
+
+    @property
+    def prefixes(self) -> tuple[RoaPrefix, ...]:
+        return self._prefixes
+
+    @property
+    def ee_cert(self) -> EECertificate:
+        """The embedded one-time-use EE certificate that signed this ROA."""
+        return self._ee_cert
+
+    def resources(self) -> ResourceSet:
+        """The address space named by the ROA's prefixes."""
+        return ResourceSet.from_prefixes(rp.prefix for rp in self._prefixes)
+
+    def describe(self) -> str:
+        """The paper's notation, e.g. ``"(63.174.16.0/20-24, AS17054)"``."""
+        prefix_text = ", ".join(str(rp) for rp in self._prefixes)
+        return f"({prefix_text}, {self.asn})"
+
+    def __repr__(self) -> str:
+        return f"Roa{self.describe()}"
+
+
+def build_roa(
+    *,
+    ee_key: KeyPair,
+    ee_cert: EECertificate,
+    asn: ASN | int,
+    prefixes: list[RoaPrefix],
+    serial: int,
+    not_before: int,
+    not_after: int,
+) -> Roa:
+    """Sign a ROA with its EE key.
+
+    Pure constructor; the CA engine enforces that the EE certificate's
+    resources cover the prefixes, and relying parties re-check.
+    """
+    if not prefixes:
+        raise ObjectFormatError("a ROA must name at least one prefix")
+    payload = {
+        "type": Roa.TYPE,
+        "serial": serial,
+        "issuer_key_id": ee_cert.subject_key_id,
+        "asn": int(asn),
+        "prefixes": [
+            [prefix_to_data(rp.prefix), -1 if rp.max_length is None else rp.max_length]
+            for rp in prefixes
+        ],
+        "ee_cert": ee_cert.to_bytes(),
+        "not_before": not_before,
+        "not_after": not_after,
+    }
+    signature = ee_key.sign(encode(payload))
+    return Roa(payload, signature)

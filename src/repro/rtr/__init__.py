@@ -1,0 +1,49 @@
+"""The RPKI-to-Router protocol (RFC 6810): caches feeding BGP speakers.
+
+The final hop of the paper's Figure 1 pipeline, with real wire encoding:
+a relying-party cache serves its VRP set over RTR sessions; routers hold
+local tables synchronized by serial-numbered deltas.
+"""
+
+from .cache_server import RtrCacheServer
+from .channel import Channel, ChannelClosed, DuplexPipe
+from .pdu import (
+    CacheReset,
+    CacheResponse,
+    EndOfData,
+    ErrorReport,
+    Pdu,
+    PduDecodeError,
+    PduType,
+    PrefixPdu,
+    ResetQuery,
+    RTR_VERSION,
+    SerialNotify,
+    SerialQuery,
+    decode_pdus,
+    encode_pdu,
+)
+from .router_client import RouterState, RtrRouterClient
+
+__all__ = [
+    "CacheReset",
+    "CacheResponse",
+    "Channel",
+    "ChannelClosed",
+    "DuplexPipe",
+    "EndOfData",
+    "ErrorReport",
+    "Pdu",
+    "PduDecodeError",
+    "PduType",
+    "PrefixPdu",
+    "RTR_VERSION",
+    "ResetQuery",
+    "RouterState",
+    "RtrCacheServer",
+    "RtrRouterClient",
+    "SerialNotify",
+    "SerialQuery",
+    "decode_pdus",
+    "encode_pdu",
+]

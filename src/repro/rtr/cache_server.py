@@ -1,0 +1,181 @@
+"""The cache side of RTR: a relying party serving routers.
+
+Keeps the current VRP set under a monotonically increasing *serial*, a
+bounded window of per-serial diffs for incremental updates, and any number
+of attached router sessions.  When the relying party's refresh changes the
+VRP set, :meth:`RtrCacheServer.update` bumps the serial and sends a Serial
+Notify down every session — the routers then pull the delta.
+
+This is the last hop of the paper's Figure 1: the cache's beliefs, however
+they were manipulated, become every attached router's route-validity
+oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rp.vrp import VRP, VrpSet
+from .channel import ChannelClosed, DuplexPipe
+from .pdu import (
+    CacheReset,
+    CacheResponse,
+    EndOfData,
+    ErrorReport,
+    Pdu,
+    PrefixPdu,
+    ResetQuery,
+    SerialNotify,
+    SerialQuery,
+    decode_pdus,
+    encode_pdu,
+)
+
+__all__ = ["RtrCacheServer"]
+
+_DEFAULT_HISTORY_WINDOW = 16
+
+
+@dataclass
+class _Session:
+    pipe: DuplexPipe
+    receive_buffer: bytes = b""
+    alive: bool = True
+
+
+@dataclass
+class _Delta:
+    announced: list[VRP] = field(default_factory=list)
+    withdrawn: list[VRP] = field(default_factory=list)
+
+
+class RtrCacheServer:
+    """An RTR cache serving the VRP set of one relying party."""
+
+    def __init__(self, *, session_id: int = 1, history_window: int = _DEFAULT_HISTORY_WINDOW):
+        if not 0 <= session_id <= 0xFFFF:
+            raise ValueError(f"session id out of range: {session_id}")
+        if history_window < 1:
+            raise ValueError("history window must be at least 1")
+        self.session_id = session_id
+        self.history_window = history_window
+        self.serial = 0
+        self._current: set[VRP] = set()
+        self._history: dict[int, _Delta] = {}
+        self._sessions: list[_Session] = []
+
+    # -- data-side API --------------------------------------------------------
+
+    def update(self, vrps: VrpSet | set[VRP]) -> int:
+        """Install a new VRP set; returns the (possibly unchanged) serial.
+
+        Computes the delta against the current state; a no-op update does
+        not bump the serial (RFC 6810 serials only move on real change).
+        """
+        new_set = set(vrps)
+        announced = sorted(new_set - self._current)
+        withdrawn = sorted(self._current - new_set)
+        if not announced and not withdrawn:
+            return self.serial
+        self.serial += 1
+        self._current = new_set
+        self._history[self.serial] = _Delta(announced, withdrawn)
+        stale = [s for s in self._history if s <= self.serial - self.history_window]
+        for s in stale:
+            del self._history[s]
+        self._notify_all()
+        return self.serial
+
+    @property
+    def vrp_count(self) -> int:
+        return len(self._current)
+
+    # -- session management --------------------------------------------------------
+
+    def attach(self, pipe: DuplexPipe) -> None:
+        """Register a router session on *pipe*."""
+        self._sessions.append(_Session(pipe=pipe))
+
+    def _notify_all(self) -> None:
+        notify = encode_pdu(SerialNotify(self.session_id, self.serial))
+        for session in self._sessions:
+            if session.alive and not session.pipe.closed:
+                try:
+                    session.pipe.to_router.send(notify)
+                except ChannelClosed:
+                    session.alive = False
+
+    def process(self) -> None:
+        """Handle everything routers have sent since the last call."""
+        for session in self._sessions:
+            if not session.alive or session.pipe.closed:
+                continue
+            try:
+                data = session.receive_buffer + session.pipe.to_cache.receive()
+            except ChannelClosed:
+                session.alive = False
+                continue
+            pdus, session.receive_buffer = decode_pdus(data)
+            for pdu in pdus:
+                self._handle(session, pdu)
+
+    # -- protocol ----------------------------------------------------------------------
+
+    def _handle(self, session: _Session, pdu: Pdu) -> None:
+        if isinstance(pdu, ResetQuery):
+            self._send_full(session)
+        elif isinstance(pdu, SerialQuery):
+            self._send_incremental(session, pdu)
+        elif isinstance(pdu, ErrorReport):
+            session.alive = False
+        # Anything else from a router is a protocol violation; RFC 6810
+        # says send an Error Report and drop the session.
+        elif not isinstance(pdu, (SerialNotify,)):
+            self._send(session, ErrorReport(error_code=3,
+                                            text=f"unexpected {type(pdu).__name__}"))
+            session.alive = False
+
+    def _send_full(self, session: _Session) -> None:
+        self._send(session, CacheResponse(self.session_id))
+        for vrp in sorted(self._current):
+            self._send(session, PrefixPdu(
+                announce=True, prefix=vrp.prefix,
+                max_length=vrp.max_length, asn=vrp.asn,
+            ))
+        self._send(session, EndOfData(self.session_id, self.serial))
+
+    def _send_incremental(self, session: _Session, query: SerialQuery) -> None:
+        if query.session_id != self.session_id:
+            # The router is talking to a previous incarnation of this
+            # cache; make it start over.
+            self._send(session, CacheReset())
+            return
+        if query.serial == self.serial:
+            self._send(session, CacheResponse(self.session_id))
+            self._send(session, EndOfData(self.session_id, self.serial))
+            return
+        needed = range(query.serial + 1, self.serial + 1)
+        if not all(s in self._history for s in needed):
+            self._send(session, CacheReset())
+            return
+        self._send(session, CacheResponse(self.session_id))
+        for s in needed:
+            delta = self._history[s]
+            for vrp in delta.withdrawn:
+                self._send(session, PrefixPdu(
+                    announce=False, prefix=vrp.prefix,
+                    max_length=vrp.max_length, asn=vrp.asn,
+                ))
+            for vrp in delta.announced:
+                self._send(session, PrefixPdu(
+                    announce=True, prefix=vrp.prefix,
+                    max_length=vrp.max_length, asn=vrp.asn,
+                ))
+        self._send(session, EndOfData(self.session_id, self.serial))
+
+    @staticmethod
+    def _send(session: _Session, pdu: Pdu) -> None:
+        try:
+            session.pipe.to_router.send(encode_pdu(pdu))
+        except ChannelClosed:
+            session.alive = False

@@ -1,0 +1,66 @@
+"""An in-memory byte stream standing in for the RTR TCP connection.
+
+RTR runs over a long-lived TCP session between router and cache.  The
+simulation's stand-in is a pair of byte queues with explicit, manual
+delivery — so tests can interleave, delay, or cut the connection at any
+byte boundary, exercising the stream reassembly in the PDU codec.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Channel", "ChannelClosed", "DuplexPipe"]
+
+
+class ChannelClosed(Exception):
+    """I/O on a closed channel."""
+
+
+class Channel:
+    """One direction of a byte stream."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, data: bytes) -> None:
+        if self._closed:
+            raise ChannelClosed("send on closed channel")
+        self._buffer.extend(data)
+
+    def receive(self, limit: int | None = None) -> bytes:
+        """Drain up to *limit* buffered bytes (all of them by default)."""
+        if self._closed and not self._buffer:
+            raise ChannelClosed("receive on closed, drained channel")
+        if limit is None or limit >= len(self._buffer):
+            data = bytes(self._buffer)
+            self._buffer.clear()
+            return data
+        data = bytes(self._buffer[:limit])
+        del self._buffer[:limit]
+        return data
+
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class DuplexPipe:
+    """A connected pair of channels: the router↔cache session."""
+
+    def __init__(self) -> None:
+        self.to_cache = Channel()
+        self.to_router = Channel()
+
+    def close(self) -> None:
+        self.to_cache.close()
+        self.to_router.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.to_cache.closed or self.to_router.closed

@@ -1,0 +1,276 @@
+"""RTR protocol data units (RFC 6810), with real wire encoding.
+
+The RPKI-to-Router protocol is how validated ROA payloads actually reach
+BGP speakers: routers do not run path validation themselves — they hold an
+RTR session to a relying-party cache and receive the VRP set as a stream
+of prefix PDUs.  The paper's Figure 1 arrow from "route validity" into
+"BGP" runs over exactly this channel, so the reproduction implements it:
+whatever the cache believes (including whatever an authority manipulated
+it into believing) is what every attached router enforces.
+
+The wire format follows RFC 6810: an 8-byte header
+``(version, pdu_type, session_or_flags, length)`` followed by the body.
+Version 0 PDU types:
+
+====  ====================  ==============================================
+  0   Serial Notify         cache → router: "new data available"
+  1   Serial Query          router → cache: "give me changes since serial"
+  2   Reset Query           router → cache: "give me everything"
+  3   Cache Response        cache → router: header of a data burst
+  4   IPv4 Prefix           one VRP (announce or withdraw)
+  6   IPv6 Prefix           one VRP (announce or withdraw)
+  7   End of Data           end of burst; carries the new serial
+  8   Cache Reset           cache → router: "I can't do incremental; reset"
+ 10   Error Report          either direction; fatal
+====  ====================  ==============================================
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from ..resources import ASN, Afi, Prefix
+
+__all__ = [
+    "PduType",
+    "RTR_VERSION",
+    "SerialNotify",
+    "SerialQuery",
+    "ResetQuery",
+    "CacheResponse",
+    "PrefixPdu",
+    "EndOfData",
+    "CacheReset",
+    "ErrorReport",
+    "Pdu",
+    "encode_pdu",
+    "decode_pdus",
+    "PduDecodeError",
+]
+
+RTR_VERSION = 0
+
+_HEADER = struct.Struct(">BBHI")  # version, type, session/flags, length
+
+
+class PduType(enum.IntEnum):
+    SERIAL_NOTIFY = 0
+    SERIAL_QUERY = 1
+    RESET_QUERY = 2
+    CACHE_RESPONSE = 3
+    IPV4_PREFIX = 4
+    IPV6_PREFIX = 6
+    END_OF_DATA = 7
+    CACHE_RESET = 8
+    ERROR_REPORT = 10
+
+
+class PduDecodeError(Exception):
+    """Malformed RTR bytes (bad version, bad length, unknown type)."""
+
+
+@dataclass(frozen=True)
+class SerialNotify:
+    session_id: int
+    serial: int
+
+
+@dataclass(frozen=True)
+class SerialQuery:
+    session_id: int
+    serial: int
+
+
+@dataclass(frozen=True)
+class ResetQuery:
+    pass
+
+
+@dataclass(frozen=True)
+class CacheResponse:
+    session_id: int
+
+
+@dataclass(frozen=True)
+class PrefixPdu:
+    """One VRP on the wire: announce (flags bit 0 = 1) or withdraw (= 0)."""
+
+    announce: bool
+    prefix: Prefix
+    max_length: int
+    asn: ASN
+
+    def __post_init__(self) -> None:
+        if not self.prefix.length <= self.max_length <= self.prefix.afi.bits:
+            raise ValueError(
+                f"maxLength {self.max_length} out of range for {self.prefix}"
+            )
+
+    @property
+    def afi(self) -> Afi:
+        return self.prefix.afi
+
+
+@dataclass(frozen=True)
+class EndOfData:
+    session_id: int
+    serial: int
+
+
+@dataclass(frozen=True)
+class CacheReset:
+    pass
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    error_code: int
+    text: str = ""
+
+
+Pdu = (
+    SerialNotify | SerialQuery | ResetQuery | CacheResponse
+    | PrefixPdu | EndOfData | CacheReset | ErrorReport
+)
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def _packet(pdu_type: PduType, session_or_flags: int, body: bytes) -> bytes:
+    return _HEADER.pack(
+        RTR_VERSION, pdu_type, session_or_flags, _HEADER.size + len(body)
+    ) + body
+
+
+def encode_pdu(pdu: Pdu) -> bytes:
+    """Serialize one PDU to RFC 6810 wire bytes."""
+    if isinstance(pdu, SerialNotify):
+        return _packet(PduType.SERIAL_NOTIFY, pdu.session_id,
+                       struct.pack(">I", pdu.serial))
+    if isinstance(pdu, SerialQuery):
+        return _packet(PduType.SERIAL_QUERY, pdu.session_id,
+                       struct.pack(">I", pdu.serial))
+    if isinstance(pdu, ResetQuery):
+        return _packet(PduType.RESET_QUERY, 0, b"")
+    if isinstance(pdu, CacheResponse):
+        return _packet(PduType.CACHE_RESPONSE, pdu.session_id, b"")
+    if isinstance(pdu, PrefixPdu):
+        flags = 1 if pdu.announce else 0
+        address_bytes = pdu.prefix.afi.bits // 8
+        body = struct.pack(
+            ">BBBB", flags, pdu.prefix.length, pdu.max_length, 0
+        ) + pdu.prefix.network.to_bytes(address_bytes, "big") + struct.pack(
+            ">I", int(pdu.asn)
+        )
+        pdu_type = (
+            PduType.IPV4_PREFIX if pdu.prefix.afi is Afi.IPV4
+            else PduType.IPV6_PREFIX
+        )
+        return _packet(pdu_type, 0, body)
+    if isinstance(pdu, EndOfData):
+        return _packet(PduType.END_OF_DATA, pdu.session_id,
+                       struct.pack(">I", pdu.serial))
+    if isinstance(pdu, CacheReset):
+        return _packet(PduType.CACHE_RESET, 0, b"")
+    if isinstance(pdu, ErrorReport):
+        text = pdu.text.encode("utf-8")
+        body = struct.pack(">I", 0) + struct.pack(">I", len(text)) + text
+        return _packet(PduType.ERROR_REPORT, pdu.error_code, body)
+    raise TypeError(f"not a PDU: {pdu!r}")
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+
+def decode_pdus(data: bytes) -> tuple[list[Pdu], bytes]:
+    """Decode as many complete PDUs as *data* contains.
+
+    Returns ``(pdus, remainder)`` — the remainder is a partial trailing
+    PDU to be retried once more bytes arrive (stream semantics, like the
+    TCP connection RTR really runs over).
+    """
+    pdus: list[Pdu] = []
+    offset = 0
+    while len(data) - offset >= _HEADER.size:
+        version, pdu_type, session_or_flags, length = _HEADER.unpack_from(
+            data, offset
+        )
+        if version != RTR_VERSION:
+            raise PduDecodeError(f"unsupported RTR version {version}")
+        if length < _HEADER.size:
+            raise PduDecodeError(f"impossible PDU length {length}")
+        if len(data) - offset < length:
+            break  # incomplete PDU; wait for more bytes
+        body = data[offset + _HEADER.size : offset + length]
+        pdus.append(_decode_one(pdu_type, session_or_flags, body))
+        offset += length
+    return pdus, data[offset:]
+
+
+def _decode_one(pdu_type: int, session_or_flags: int, body: bytes) -> Pdu:
+    try:
+        kind = PduType(pdu_type)
+    except ValueError:
+        raise PduDecodeError(f"unknown PDU type {pdu_type}") from None
+
+    if kind is PduType.SERIAL_NOTIFY:
+        return SerialNotify(session_or_flags, _u32(body))
+    if kind is PduType.SERIAL_QUERY:
+        return SerialQuery(session_or_flags, _u32(body))
+    if kind is PduType.RESET_QUERY:
+        _expect_empty(kind, body)
+        return ResetQuery()
+    if kind is PduType.CACHE_RESPONSE:
+        _expect_empty(kind, body)
+        return CacheResponse(session_or_flags)
+    if kind in (PduType.IPV4_PREFIX, PduType.IPV6_PREFIX):
+        afi = Afi.IPV4 if kind is PduType.IPV4_PREFIX else Afi.IPV6
+        address_bytes = afi.bits // 8
+        expected = 4 + address_bytes + 4
+        if len(body) != expected:
+            raise PduDecodeError(
+                f"{kind.name} body must be {expected} bytes, got {len(body)}"
+            )
+        flags, length, max_length, _zero = struct.unpack_from(">BBBB", body)
+        network = int.from_bytes(body[4 : 4 + address_bytes], "big")
+        asn_value = _u32(body[4 + address_bytes :])
+        try:
+            prefix = Prefix(afi, network, length)
+            return PrefixPdu(
+                announce=bool(flags & 1),
+                prefix=prefix,
+                max_length=max_length,
+                asn=ASN(asn_value),
+            )
+        except ValueError as exc:
+            raise PduDecodeError(f"bad prefix PDU: {exc}") from exc
+    if kind is PduType.END_OF_DATA:
+        return EndOfData(session_or_flags, _u32(body))
+    if kind is PduType.CACHE_RESET:
+        _expect_empty(kind, body)
+        return CacheReset()
+    if kind is PduType.ERROR_REPORT:
+        if len(body) < 8:
+            raise PduDecodeError("truncated error report")
+        text_length = _u32(body[4:8])
+        text = body[8 : 8 + text_length].decode("utf-8", errors="replace")
+        return ErrorReport(error_code=session_or_flags, text=text)
+    raise AssertionError(f"unhandled {kind}")  # pragma: no cover
+
+
+def _u32(body: bytes) -> int:
+    if len(body) < 4:
+        raise PduDecodeError("truncated 32-bit field")
+    return struct.unpack_from(">I", body)[0]
+
+
+def _expect_empty(kind: PduType, body: bytes) -> None:
+    if body:
+        raise PduDecodeError(f"{kind.name} must have an empty body")

@@ -1,0 +1,38 @@
+"""Tests for the side-effect catalog (core.sideeffects)."""
+
+import pytest
+
+from repro.core import (
+    SIDE_EFFECTS,
+    ScenarioError,
+    demonstrate,
+    demonstrate_all,
+)
+
+
+class TestCatalog:
+    def test_all_seven_present(self):
+        assert sorted(SIDE_EFFECTS) == [1, 2, 3, 4, 5, 6, 7]
+
+    @pytest.mark.parametrize("number", sorted(SIDE_EFFECTS))
+    def test_each_side_effect_manifests(self, number):
+        report = demonstrate(number)
+        assert report.number == number
+        assert report.claims, "a demonstration must check something"
+        text = report.render()
+        assert f"Side Effect {number}" in text
+
+    def test_demonstrate_all_ordered(self):
+        reports = demonstrate_all()
+        assert [r.number for r in reports] == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_unknown_number_rejected(self):
+        with pytest.raises(ScenarioError):
+            demonstrate(8)
+
+    def test_check_raises_on_false_claim(self):
+        from repro.core import SideEffectReport
+
+        report = SideEffectReport(1, "test")
+        with pytest.raises(ScenarioError):
+            report.check(False, "this never held")

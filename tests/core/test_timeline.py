@@ -1,0 +1,131 @@
+"""Tests for the declarative timeline runner and SLURM serialization."""
+
+import pytest
+
+from repro.bgp import LocalPolicy
+from repro.core import (
+    ClosedLoopSimulation,
+    TimelineRunner,
+    execute_whack,
+    plan_whack,
+)
+from repro.modelgen import build_figure2, figure2_bgp
+from repro.repository import FaultInjector, FaultKind
+from repro.rp import RouteValidity
+
+
+def make_loop(world, policy=LocalPolicy.DROP_INVALID, faults=None):
+    graph, originations, rp_asn = figure2_bgp()
+    return ClosedLoopSimulation(
+        registry=world.registry,
+        authorities=[world.arin],
+        graph=graph,
+        originations=originations,
+        rp_asn=rp_asn,
+        policy=policy,
+        clock=world.clock,
+        faults=faults,
+    )
+
+
+class TestTimeline:
+    def test_quiet_timeline(self):
+        world = build_figure2()
+        runner = TimelineRunner(make_loop(world))
+        runner.watch("63.174.16.0/20", 17054)
+        report = runner.run(epochs=3)
+        assert len(report.epochs) == 3
+        assert report.states_of("(63.174.16.0/20, AS17054)") == [
+            RouteValidity.VALID
+        ] * 3
+
+    def test_scheduled_whack_flips_the_route(self):
+        world = build_figure2()
+        world.sprint.issue_roa(1239, "63.160.0.0/12-13")
+        runner = TimelineRunner(make_loop(world))
+        runner.watch("63.174.16.0/20", 17054)
+        runner.schedule(
+            2, "Sprint whacks the /20",
+            lambda: execute_whack(
+                plan_whack(world.sprint, world.target20, world.continental)
+            ),
+        )
+        report = runner.run(epochs=4)
+        route = "(63.174.16.0/20, AS17054)"
+        assert report.states_of(route)[:2] == [RouteValidity.VALID] * 2
+        assert report.first_epoch_where(route, RouteValidity.INVALID) == 2
+        assert report.epochs[2].actions == ["Sprint whacks the /20"]
+
+    def test_se7_as_a_timeline(self):
+        """The Section 6 story, written declaratively."""
+        world = build_figure2()
+        world.sprint.issue_roa(1239, "63.160.0.0/12-13")
+        faults = FaultInjector(seed=7)
+        runner = TimelineRunner(make_loop(world, faults=faults))
+        runner.watch("63.174.16.0/20", 17054)
+        runner.schedule(
+            1, "transient corruption of the self-hosted ROA",
+            lambda: faults.schedule(
+                FaultKind.CORRUPT, "rsync://continental.example/repo/",
+                file_name=world.target20_name,
+            ),
+        )
+        report = runner.run(epochs=5)
+        route = "(63.174.16.0/20, AS17054)"
+        # Invalid from the fault epoch on, never recovering.
+        assert report.first_epoch_where(route, RouteValidity.INVALID) == 1
+        assert all(
+            s is RouteValidity.INVALID for s in report.states_of(route)[1:]
+        )
+        assert report.epochs[-1].unreachable_points == [
+            "rsync://continental.example/repo/"
+        ]
+
+    def test_render(self):
+        world = build_figure2()
+        runner = TimelineRunner(make_loop(world))
+        runner.watch("63.174.16.0/20", 17054)
+        runner.schedule(1, "no-op", lambda: None)
+        text = runner.run(epochs=2).render()
+        assert "epoch" in text and "valid" in text and "! no-op" in text
+
+    def test_rejects_negative_epoch(self):
+        world = build_figure2()
+        runner = TimelineRunner(make_loop(world))
+        with pytest.raises(ValueError):
+            runner.schedule(-1, "x", lambda: None)
+
+
+class TestSlurmSerialization:
+    def test_roundtrip(self):
+        from repro.rp import LocalOverrides
+
+        overrides = (
+            LocalOverrides()
+            .pin("63.174.16.0/20-24", 17054)
+            .filter("63.160.0.0/12", 1239)
+        )
+        data = overrides.to_dict()
+        assert data["slurmVersion"] == 1
+        assert data["locallyAddedAssertions"]["prefixAssertions"] == [
+            {"prefix": "63.174.16.0/20", "asn": 17054, "maxPrefixLength": 24}
+        ]
+        again = LocalOverrides.from_dict(data)
+        assert again.pinned == overrides.pinned
+        assert again.filtered == overrides.filtered
+
+    def test_json_safe(self):
+        import json
+
+        from repro.rp import LocalOverrides
+
+        overrides = LocalOverrides().pin("10.0.0.0/8", 64512)
+        blob = json.dumps(overrides.to_dict())
+        again = LocalOverrides.from_dict(json.loads(blob))
+        assert again.pinned == overrides.pinned
+
+    def test_empty_roundtrip(self):
+        from repro.rp import LocalOverrides
+
+        again = LocalOverrides.from_dict(LocalOverrides().to_dict())
+        assert again.is_empty

@@ -1,0 +1,89 @@
+r"""Tests for Table 6: the drop-invalid vs depref-invalid tradeoff.
+
+Topology (same shape as the BGP test suite's reference)::
+
+        100 === 200
+       /   \   /   \
+     10     20      30
+      |      |       |
+      1      2       3
+      4 (victim)   666 (attacker)
+"""
+
+import pytest
+
+from repro.bgp import AsGraph, LocalPolicy
+from repro.core import TradeoffScenario, run_tradeoff
+
+
+@pytest.fixture(scope="module")
+def table():
+    graph = AsGraph.from_links(
+        provider_links=[
+            (100, 10), (100, 20), (200, 20), (200, 30),
+            (10, 1), (20, 2), (30, 3), (10, 4), (30, 666),
+        ],
+        peer_links=[(100, 200)],
+    )
+    scenario = TradeoffScenario.build(
+        graph,
+        victim_prefix="10.4.0.0/16",
+        victim=4,
+        attacker=666,
+        covering_prefix="10.0.0.0/8",   # survives the whack
+        covering_origin=10,
+    )
+    return run_tradeoff(scenario)
+
+
+class TestTable6:
+    def test_drop_invalid_survives_routing_attack(self, table):
+        cell = table.cell(LocalPolicy.DROP_INVALID, "routing-attack")
+        assert cell.prefix_reachable
+        assert cell.hijacked_fraction == 0.0
+
+    def test_drop_invalid_fails_under_rpki_manipulation(self, table):
+        cell = table.cell(LocalPolicy.DROP_INVALID, "rpki-manipulation")
+        assert not cell.prefix_reachable
+        assert cell.reachable_fraction == 0.0  # prefix entirely offline
+
+    def test_depref_invalid_vulnerable_to_subprefix_hijack(self, table):
+        cell = table.cell(LocalPolicy.DEPREF_INVALID, "routing-attack")
+        assert not cell.prefix_reachable
+        assert cell.hijacked_fraction > 0.5  # most of the net is captured
+
+    def test_depref_invalid_survives_rpki_manipulation(self, table):
+        cell = table.cell(LocalPolicy.DEPREF_INVALID, "rpki-manipulation")
+        assert cell.prefix_reachable
+
+    def test_the_tradeoff_is_exact_opposition(self, table):
+        """The paper's point: each policy wins exactly where the other
+        loses."""
+        drop_a = table.cell(LocalPolicy.DROP_INVALID, "routing-attack")
+        drop_b = table.cell(LocalPolicy.DROP_INVALID, "rpki-manipulation")
+        depref_a = table.cell(LocalPolicy.DEPREF_INVALID, "routing-attack")
+        depref_b = table.cell(LocalPolicy.DEPREF_INVALID, "rpki-manipulation")
+        assert drop_a.prefix_reachable and not drop_b.prefix_reachable
+        assert not depref_a.prefix_reachable and depref_b.prefix_reachable
+
+    def test_render_shape(self, table):
+        text = table.render()
+        assert "drop-invalid" in text and "depref-invalid" in text
+        assert "routing attack" in text and "RPKI manipulation" in text
+        lines = text.splitlines()
+        assert len(lines) == 3
+
+
+class TestScenarioValidation:
+    def test_covering_vrp_must_invalidate_victim(self):
+        graph = AsGraph.from_links(provider_links=[(10, 4), (10, 666)])
+        scenario = TradeoffScenario.build(
+            graph,
+            victim_prefix="10.4.0.0/16",
+            victim=4,
+            attacker=666,
+            covering_prefix="192.0.2.0/24",  # does NOT cover the victim
+            covering_origin=10,
+        )
+        with pytest.raises(AssertionError):
+            run_tradeoff(scenario)

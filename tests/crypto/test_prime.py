@@ -1,0 +1,56 @@
+"""Unit tests for primality testing and prime generation."""
+
+import random
+
+import pytest
+
+from repro.crypto import generate_prime, is_probable_prime
+from repro.crypto.prime import SMALL_PRIMES
+
+
+class TestIsProbablePrime:
+    def test_small_primes(self):
+        for p in SMALL_PRIMES:
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in [0, 1, 4, 6, 8, 9, 100, 561, 1105]:  # incl. Carmichaels
+            assert not is_probable_prime(n)
+
+    def test_negative(self):
+        assert not is_probable_prime(-7)
+
+    def test_known_large_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime(2**127 - 1)
+
+    def test_known_large_composite(self):
+        assert not is_probable_prime((2**127 - 1) * (2**89 - 1))
+
+    def test_carmichael_numbers_rejected(self):
+        # Carmichael numbers fool Fermat but not Miller-Rabin.
+        for n in [561, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841]:
+            assert not is_probable_prime(n)
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        rng = random.Random(1)
+        for bits in [16, 64, 256]:
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_top_two_bits_set(self):
+        rng = random.Random(2)
+        p = generate_prime(64, rng)
+        assert (p >> 62) == 0b11
+
+    def test_deterministic_from_seed(self):
+        assert generate_prime(64, random.Random(42)) == generate_prime(
+            64, random.Random(42)
+        )
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, random.Random(0))

@@ -1,0 +1,114 @@
+"""Unit tests for RSA signing, verification, and key identity."""
+
+import random
+
+import pytest
+
+from repro.crypto import (
+    KeyFactory,
+    KeyPair,
+    KeySizeError,
+    generate_keypair,
+    key_id_of,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(512, random.Random(7))
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        sig = keypair.sign(b"hello rpki")
+        assert keypair.public.verify(b"hello rpki", sig)
+
+    def test_wrong_message_rejected(self, keypair):
+        sig = keypair.sign(b"hello rpki")
+        assert not keypair.public.verify(b"hello rpkj", sig)
+
+    def test_bitflip_rejected(self, keypair):
+        sig = bytearray(keypair.sign(b"msg"))
+        sig[0] ^= 0x01
+        assert not keypair.public.verify(b"msg", bytes(sig))
+
+    def test_wrong_length_rejected(self, keypair):
+        sig = keypair.sign(b"msg")
+        assert not keypair.public.verify(b"msg", sig + b"\x00")
+        assert not keypair.public.verify(b"msg", sig[:-1])
+        assert not keypair.public.verify(b"msg", b"")
+
+    def test_wrong_key_rejected(self, keypair):
+        other = generate_keypair(512, random.Random(8))
+        sig = keypair.sign(b"msg")
+        assert not other.public.verify(b"msg", sig)
+
+    def test_empty_message(self, keypair):
+        sig = keypair.sign(b"")
+        assert keypair.public.verify(b"", sig)
+
+    def test_signature_deterministic(self, keypair):
+        assert keypair.sign(b"x") == keypair.sign(b"x")
+
+    def test_oversized_sig_int_rejected(self, keypair):
+        n_bytes = keypair.public.modulus_bytes
+        too_big = (keypair.public.modulus + 1).to_bytes(n_bytes, "big")
+        assert not keypair.public.verify(b"msg", too_big)
+
+
+class TestKeygen:
+    def test_modulus_bits_exact(self):
+        key = generate_keypair(512, random.Random(1))
+        assert key.public.modulus_bits == 512
+
+    def test_deterministic_from_seeded_rng(self):
+        a = generate_keypair(512, random.Random(99))
+        b = generate_keypair(512, random.Random(99))
+        assert a.public.modulus == b.public.modulus and a.d == b.d
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(KeySizeError):
+            generate_keypair(128)
+
+    def test_public_dict_roundtrip(self, keypair):
+        from repro.crypto import RsaPublicKey
+
+        again = RsaPublicKey.from_dict(keypair.public.to_dict())
+        assert again == keypair.public
+
+
+class TestKeyPairAndFactory:
+    def test_key_id_derived(self, keypair):
+        pair = KeyPair(private=keypair)
+        assert pair.key_id == key_id_of(keypair.public)
+        assert len(pair.key_id) == 20
+
+    def test_keypair_sign_verify(self, keypair):
+        pair = KeyPair(private=keypair)
+        assert pair.verify(b"m", pair.sign(b"m"))
+
+    def test_factory_reproducible(self):
+        a = KeyFactory(seed=5).next_keypair()
+        b = KeyFactory(seed=5).next_keypair()
+        assert a.key_id == b.key_id
+
+    def test_factory_sequence_distinct(self):
+        factory = KeyFactory(seed=5)
+        ids = {factory.next_keypair().key_id for _ in range(4)}
+        assert len(ids) == 4
+        assert factory.issued == 4
+
+    def test_different_seeds_differ(self):
+        assert (
+            KeyFactory(seed=1).next_keypair().key_id
+            != KeyFactory(seed=2).next_keypair().key_id
+        )
+
+    def test_cache_hit_is_same_object(self):
+        a = KeyFactory(seed=77).next_keypair()
+        b = KeyFactory(seed=77).next_keypair()
+        assert a is b  # process-wide pool
+
+    def test_repr_hides_private_material(self, keypair):
+        pair = KeyPair(private=keypair)
+        assert str(keypair.d) not in repr(pair)

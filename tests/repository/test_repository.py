@@ -1,0 +1,276 @@
+"""Unit tests for URIs, servers, fetching, faults, and the local cache."""
+
+import pytest
+
+from repro.repository import (
+    FaultInjector,
+    FaultKind,
+    FetchStatus,
+    Fetcher,
+    HostLocator,
+    LocalCache,
+    MountError,
+    RepositoryRegistry,
+    RsyncUri,
+    UnknownHostError,
+    UriError,
+)
+from repro.simtime import Clock
+
+
+class TestRsyncUri:
+    def test_parse(self):
+        uri = RsyncUri.parse("rsync://sprint/repo/")
+        assert uri.host == "sprint"
+        assert uri.path == "repo"
+        assert str(uri) == "rsync://sprint/repo/"
+
+    def test_parse_nested(self):
+        uri = RsyncUri.parse("rsync://sprint/repo/continental/")
+        assert uri.path == "repo/continental"
+
+    def test_join(self):
+        uri = RsyncUri.parse("rsync://sprint/repo/")
+        assert uri.join("ca.crl").path == "repo/ca.crl"
+
+    def test_join_rejects_slash(self):
+        with pytest.raises(UriError):
+            RsyncUri.parse("rsync://a/b/").join("x/y")
+
+    def test_directory(self):
+        uri = RsyncUri.parse("rsync://sprint/repo/").join("ca.crl")
+        assert uri.directory == RsyncUri.parse("rsync://sprint/repo/")
+
+    @pytest.mark.parametrize("bad", ["http://x/y", "rsync://", "sprint/repo"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(UriError):
+            RsyncUri.parse(bad)
+
+    def test_host_only(self):
+        uri = RsyncUri.parse("rsync://sprint/")
+        assert uri.path == ""
+        assert str(uri) == "rsync://sprint/"
+
+
+class TestHostLocator:
+    def test_parse(self):
+        loc = HostLocator.parse("63.174.23.0", 17054)
+        assert str(loc.host_prefix) == "63.174.23.0/32"
+        assert int(loc.origin_asn) == 17054
+
+    def test_str(self):
+        loc = HostLocator.parse("63.174.23.0", 17054)
+        assert "63.174.23.0" in str(loc) and "AS17054" in str(loc)
+
+
+class TestRegistryAndServer:
+    def make(self):
+        registry = RepositoryRegistry()
+        server = registry.create_server(
+            "continental", HostLocator.parse("63.174.23.0", 17054)
+        )
+        return registry, server
+
+    def test_mount_and_resolve(self):
+        registry, server = self.make()
+        point = server.mount("rsync://continental/repo/")
+        point.put("a.roa", b"data")
+        resolved = registry.resolve("rsync://continental/repo/")
+        assert resolved is point
+        assert resolved.get("a.roa") == b"data"
+
+    def test_mount_host_mismatch(self):
+        _, server = self.make()
+        with pytest.raises(MountError):
+            server.mount("rsync://other/repo/")
+
+    def test_mount_collision(self):
+        _, server = self.make()
+        server.mount("rsync://continental/repo/")
+        with pytest.raises(MountError):
+            server.mount("rsync://continental/repo/")
+
+    def test_duplicate_host(self):
+        registry, _ = self.make()
+        with pytest.raises(MountError):
+            registry.create_server(
+                "continental", HostLocator.parse("1.2.3.4", 1)
+            )
+
+    def test_unknown_host(self):
+        registry, _ = self.make()
+        with pytest.raises(UnknownHostError):
+            registry.by_host("nope")
+        with pytest.raises(UnknownHostError):
+            registry.resolve("rsync://continental/missing/")
+
+    def test_contains(self):
+        registry, _ = self.make()
+        assert "continental" in registry
+        assert "nope" not in registry
+
+
+class TestFetcher:
+    def setup_world(self, **fetcher_kwargs):
+        registry = RepositoryRegistry()
+        server = registry.create_server(
+            "continental", HostLocator.parse("63.174.23.0", 17054)
+        )
+        point = server.mount("rsync://continental/repo/")
+        point.put("a.roa", b"roa-bytes")
+        point.put("b.cer", b"cer-bytes")
+        clock = Clock(start=100)
+        fetcher = Fetcher(registry, clock, **fetcher_kwargs)
+        return registry, point, clock, fetcher
+
+    def test_successful_fetch(self):
+        _, _, _, fetcher = self.setup_world()
+        result = fetcher.fetch_point("rsync://continental/repo/")
+        assert result.ok
+        assert result.files == {"a.roa": b"roa-bytes", "b.cer": b"cer-bytes"}
+        assert result.fetched_at == 100
+
+    def test_unknown_host(self):
+        _, _, _, fetcher = self.setup_world()
+        result = fetcher.fetch_point("rsync://ghost/repo/")
+        assert result.status is FetchStatus.UNKNOWN_HOST
+        assert result.files == {}
+
+    def test_unreachable_when_routing_says_no(self):
+        _, _, _, fetcher = self.setup_world(reachability=lambda locator: False)
+        result = fetcher.fetch_point("rsync://continental/repo/")
+        assert result.status is FetchStatus.UNREACHABLE
+
+    def test_reachability_gets_the_locator(self):
+        seen = []
+        _, _, _, fetcher = self.setup_world(
+            reachability=lambda locator: (seen.append(locator), True)[1]
+        )
+        fetcher.fetch_point("rsync://continental/repo/")
+        assert int(seen[0].origin_asn) == 17054
+
+    def test_fetch_log(self):
+        _, _, _, fetcher = self.setup_world()
+        fetcher.fetch_point("rsync://continental/repo/")
+        fetcher.fetch_point("rsync://ghost/repo/")
+        assert [r.status for r in fetcher.fetch_log] == [
+            FetchStatus.OK,
+            FetchStatus.UNKNOWN_HOST,
+        ]
+
+
+class TestFaults:
+    def make_fetcher(self, faults):
+        registry = RepositoryRegistry()
+        server = registry.create_server(
+            "continental", HostLocator.parse("63.174.23.0", 17054)
+        )
+        point = server.mount("rsync://continental/repo/")
+        point.put("a.roa", b"roa-bytes-roa-bytes")
+        point.put("b.cer", b"cer-bytes-cer-bytes")
+        return Fetcher(registry, Clock(), faults=faults)
+
+    def test_drop_is_one_shot(self):
+        faults = FaultInjector()
+        faults.schedule(FaultKind.DROP, "rsync://continental/repo/",
+                        file_name="a.roa")
+        fetcher = self.make_fetcher(faults)
+        first = fetcher.fetch_point("rsync://continental/repo/")
+        assert "a.roa" not in first.files and "b.cer" in first.files
+        second = fetcher.fetch_point("rsync://continental/repo/")
+        assert "a.roa" in second.files  # transient fault healed
+
+    def test_corrupt_changes_bytes(self):
+        faults = FaultInjector(seed=3)
+        faults.schedule(FaultKind.CORRUPT, "rsync://continental/repo/",
+                        file_name="a.roa")
+        fetcher = self.make_fetcher(faults)
+        result = fetcher.fetch_point("rsync://continental/repo/")
+        assert result.files["a.roa"] != b"roa-bytes-roa-bytes"
+        assert result.files["b.cer"] == b"cer-bytes-cer-bytes"
+
+    def test_truncate(self):
+        faults = FaultInjector()
+        faults.schedule(FaultKind.TRUNCATE, "rsync://continental/repo/",
+                        file_name="b.cer")
+        fetcher = self.make_fetcher(faults)
+        result = fetcher.fetch_point("rsync://continental/repo/")
+        assert result.files["b.cer"] == b"cer-bytes"
+
+    def test_point_unreachable_fault(self):
+        faults = FaultInjector()
+        faults.schedule(FaultKind.UNREACHABLE, "rsync://continental/repo/")
+        fetcher = self.make_fetcher(faults)
+        assert fetcher.fetch_point("rsync://continental/repo/").status is (
+            FetchStatus.FAULTED
+        )
+        assert fetcher.fetch_point("rsync://continental/repo/").ok
+
+    def test_background_rate_deterministic(self):
+        results = []
+        for _ in range(2):
+            faults = FaultInjector(seed=9, background_rate=0.5)
+            fetcher = self.make_fetcher(faults)
+            result = fetcher.fetch_point("rsync://continental/repo/")
+            results.append(sorted(result.files))
+        assert results[0] == results[1]
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(background_rate=1.5)
+
+    def test_applied_log(self):
+        faults = FaultInjector()
+        faults.schedule(FaultKind.DROP, "rsync://continental/repo/",
+                        file_name="a.roa")
+        fetcher = self.make_fetcher(faults)
+        fetcher.fetch_point("rsync://continental/repo/")
+        assert faults.applied == [
+            ("rsync://continental/repo/", "a.roa", FaultKind.DROP)
+        ]
+
+
+class TestLocalCache:
+    def result(self, status=FetchStatus.OK, files=None, at=0):
+        from repro.repository import FetchResult
+
+        return FetchResult(
+            uri="rsync://x/repo/", status=status, files=files or {}, fetched_at=at
+        )
+
+    def test_success_replaces_contents(self):
+        cache = LocalCache()
+        cache.update(self.result(files={"a": b"1"}, at=1))
+        cache.update(self.result(files={"b": b"2"}, at=2))
+        entry = cache.point("rsync://x/repo/")
+        assert entry.files == {"b": b"2"}
+        assert entry.last_success == 2
+        assert not entry.stale
+
+    def test_keep_stale_preserves_old_copy(self):
+        cache = LocalCache(keep_stale=True)
+        cache.update(self.result(files={"a": b"1"}, at=1))
+        cache.update(self.result(status=FetchStatus.UNREACHABLE, at=5))
+        entry = cache.point("rsync://x/repo/")
+        assert entry.files == {"a": b"1"}  # stale copy retained
+        assert entry.stale
+        assert entry.last_attempt == 5 and entry.last_success == 1
+
+    def test_drop_stale_policy(self):
+        cache = LocalCache(keep_stale=False)
+        cache.update(self.result(files={"a": b"1"}, at=1))
+        cache.update(self.result(status=FetchStatus.UNREACHABLE, at=5))
+        assert cache.point("rsync://x/repo/").files == {}
+
+    def test_all_files_and_len(self):
+        cache = LocalCache()
+        cache.update(self.result(files={"a": b"1"}))
+        assert cache.all_files() == {"rsync://x/repo/": {"a": b"1"}}
+        assert len(cache) == 1
+        assert "rsync://x/repo/" in cache
+
+    def test_forget(self):
+        cache = LocalCache()
+        cache.update(self.result(files={"a": b"1"}))
+        cache.forget("rsync://x/repo/")
+        assert len(cache) == 0

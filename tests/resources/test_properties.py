@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for the resource algebra invariants.
+
+These pin down the algebraic laws that the whacking attacks and route
+validity logic silently rely on: normalization is canonical, subtraction
+really removes exactly the hole, decomposition is exact, tries agree with
+brute force.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resources import (
+    Afi,
+    AddressRange,
+    AsnRange,
+    AsnSet,
+    Prefix,
+    PrefixTrie,
+    ResourceSet,
+)
+from repro.resources.ipaddr import format_ipv4, format_ipv6, parse_ipv4, parse_ipv6
+
+# -- strategies ------------------------------------------------------------
+
+v4_address = st.integers(min_value=0, max_value=2**32 - 1)
+v6_address = st.integers(min_value=0, max_value=2**128 - 1)
+
+
+@st.composite
+def v4_prefixes(draw, min_length=0, max_length=32):
+    length = draw(st.integers(min_value=min_length, max_value=max_length))
+    addr = draw(v4_address)
+    network = (addr >> (32 - length)) << (32 - length) if length else 0
+    return Prefix(Afi.IPV4, network, length)
+
+
+@st.composite
+def v4_ranges(draw):
+    a = draw(v4_address)
+    b = draw(v4_address)
+    lo, hi = min(a, b), max(a, b)
+    return AddressRange(Afi.IPV4, lo, hi)
+
+
+@st.composite
+def resource_sets(draw):
+    return ResourceSet(draw(st.lists(v4_ranges(), max_size=6)))
+
+
+# -- address codec ----------------------------------------------------------
+
+
+@given(v4_address)
+def test_ipv4_roundtrip(value):
+    assert parse_ipv4(format_ipv4(value)) == value
+
+
+@given(v6_address)
+def test_ipv6_roundtrip(value):
+    assert parse_ipv6(format_ipv6(value)) == value
+
+
+# -- prefix laws -------------------------------------------------------------
+
+
+@given(v4_prefixes())
+def test_prefix_parse_roundtrip(prefix):
+    assert Prefix.parse(str(prefix)) == prefix
+
+
+@given(v4_prefixes(max_length=31))
+def test_children_partition_parent(prefix):
+    low, high = prefix.children()
+    assert prefix.covers(low) and prefix.covers(high)
+    assert not low.overlaps(high)
+    assert low.size + high.size == prefix.size
+
+
+@given(v4_prefixes(), v4_prefixes())
+def test_covering_matches_range_containment(a, b):
+    ra, rb = AddressRange.from_prefix(a), AddressRange.from_prefix(b)
+    assert a.covers(b) == ra.covers(rb)
+
+
+@given(v4_prefixes(), v4_prefixes())
+def test_prefix_overlap_is_nesting(a, b):
+    # Two prefixes either nest or are disjoint — never partially overlap.
+    ra, rb = AddressRange.from_prefix(a), AddressRange.from_prefix(b)
+    if ra.overlaps(rb):
+        assert a.covers(b) or b.covers(a)
+
+
+# -- range decomposition -------------------------------------------------------
+
+
+@given(v4_ranges())
+@settings(max_examples=200)
+def test_decomposition_is_exact_partition(range_):
+    prefixes = list(range_.to_prefixes())
+    assert sum(p.size for p in prefixes) == range_.size
+    cursor = range_.start
+    for prefix in prefixes:
+        assert prefix.network == cursor
+        cursor = prefix.broadcast + 1
+    assert cursor == range_.end + 1
+
+
+@given(v4_ranges())
+def test_decomposition_prefixes_are_maximal(range_):
+    # No two adjacent output prefixes can merge into one aligned block.
+    prefixes = list(range_.to_prefixes())
+    for left, right in zip(prefixes, prefixes[1:]):
+        if left.length == right.length and left.length > 0:
+            merged_network = left.network & ~(
+                (1 << (32 - left.length + 1)) - 1
+            )
+            mergeable = (
+                left.network == merged_network
+                and right.network == left.network + left.size
+                and left.network % (2 * left.size) == 0
+            )
+            assert not mergeable
+
+
+# -- resource-set algebra ----------------------------------------------------
+
+
+@given(resource_sets())
+def test_normalization_is_canonical(rs):
+    rebuilt = ResourceSet(rs.ranges)
+    assert rebuilt == rs
+    ranges = rs.ranges
+    for left, right in zip(ranges, ranges[1:]):
+        assert left.end + 1 < right.start  # disjoint AND non-adjacent
+
+
+@given(resource_sets(), resource_sets())
+def test_union_covers_both(a, b):
+    u = a.union(b)
+    assert u.covers(a) and u.covers(b)
+    assert u.size <= a.size + b.size
+
+
+@given(resource_sets(), resource_sets())
+def test_union_commutes(a, b):
+    assert a.union(b) == b.union(a)
+
+
+@given(resource_sets(), resource_sets())
+def test_subtract_removes_exactly_the_hole(a, b):
+    d = a.subtract(b)
+    assert not d.overlaps(b) or b.is_empty()
+    assert a.covers(d)
+    assert d.size == a.size - a.intersect(b).size
+
+
+@given(resource_sets(), resource_sets())
+def test_subtract_then_union_restores_cover(a, b):
+    # (a - b) U (a ∩ b) == a
+    assert a.subtract(b).union(a.intersect(b)) == a
+
+
+@given(resource_sets(), resource_sets())
+def test_intersect_commutes_and_is_covered(a, b):
+    i = a.intersect(b)
+    assert i == b.intersect(a)
+    assert a.covers(i) and b.covers(i)
+
+
+@given(resource_sets())
+def test_prefix_decomposition_equals_set(rs):
+    rebuilt = ResourceSet.from_prefixes(rs.prefixes())
+    assert rebuilt == rs
+
+
+# -- ASN sets ------------------------------------------------------------------
+
+asn_ranges = st.tuples(
+    st.integers(min_value=0, max_value=100000),
+    st.integers(min_value=0, max_value=100000),
+).map(lambda t: AsnRange(min(t), max(t)))
+
+
+@given(st.lists(asn_ranges, max_size=5), st.lists(asn_ranges, max_size=5))
+def test_asn_subtract_union_roundtrip(xs, ys):
+    a, b = AsnSet(xs), AsnSet(ys)
+    d = a.subtract(b)
+    assert a.covers(d)
+    for r in d.ranges:
+        assert not any(h.overlaps(r) for h in b.ranges)
+
+
+# -- trie vs brute force --------------------------------------------------------
+
+
+@given(st.lists(v4_prefixes(min_length=1, max_length=24), max_size=20), v4_prefixes())
+@settings(max_examples=150)
+def test_trie_covering_matches_bruteforce(stored, probe):
+    trie = PrefixTrie(Afi.IPV4)
+    payload = {}
+    for i, prefix in enumerate(stored):
+        trie.insert(prefix, i)
+        payload[prefix] = i  # last write wins, like the trie
+    got = {k for k, _ in trie.covering(probe)}
+    expected = {k for k in payload if k.covers(probe)}
+    assert got == expected
+
+
+@given(st.lists(v4_prefixes(min_length=1, max_length=24), max_size=20), v4_prefixes())
+@settings(max_examples=150)
+def test_trie_covered_by_matches_bruteforce(stored, probe):
+    trie = PrefixTrie(Afi.IPV4)
+    for i, prefix in enumerate(stored):
+        trie.insert(prefix, i)
+    got = {k for k, _ in trie.covered_by(probe)}
+    expected = {k for k in set(stored) if probe.covers(k)}
+    assert got == expected
+
+
+@given(st.lists(v4_prefixes(min_length=1, max_length=28), min_size=1, max_size=20))
+def test_trie_insert_remove_all_leaves_empty(stored):
+    trie = PrefixTrie(Afi.IPV4)
+    unique = list(dict.fromkeys(stored))
+    for prefix in unique:
+        trie.insert(prefix, str(prefix))
+    assert len(trie) == len(unique)
+    for prefix in unique:
+        assert trie.remove(prefix) == str(prefix)
+    assert len(trie) == 0
+    assert list(trie.items()) == []

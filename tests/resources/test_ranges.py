@@ -1,0 +1,172 @@
+"""Unit tests for AddressRange and ResourceSet, incl. Figure 3 hole-punch."""
+
+import pytest
+
+from repro.resources import (
+    AddressRange,
+    Afi,
+    AfiMismatchError,
+    Prefix,
+    RangeValueError,
+    ResourceSet,
+)
+
+
+class TestAddressRange:
+    def test_from_prefix(self):
+        r = AddressRange.from_prefix(Prefix.parse("63.174.16.0/20"))
+        assert r.size == 4096
+        assert str(r) == "63.174.16.0/20"
+
+    def test_parse_dash_notation(self):
+        r = AddressRange.parse("63.174.16.0-63.174.23.255")
+        assert r.size == 2048
+        assert str(r) == "63.174.16.0/21"  # aligned, prints as prefix
+
+    def test_parse_unaligned_prints_as_range(self):
+        r = AddressRange.parse("10.0.0.1-10.0.0.5")
+        assert str(r) == "10.0.0.1-10.0.0.5"
+        assert r.as_prefix() is None
+
+    def test_parse_rejects_mixed_families(self):
+        with pytest.raises(AfiMismatchError):
+            AddressRange.parse("10.0.0.0-::1")
+
+    def test_rejects_inverted(self):
+        with pytest.raises(RangeValueError):
+            AddressRange(Afi.IPV4, 10, 5)
+
+    def test_covers(self):
+        big = AddressRange.parse("10.0.0.0-10.0.0.255")
+        small = AddressRange.parse("10.0.0.10-10.0.0.20")
+        assert big.covers(small)
+        assert not small.covers(big)
+        assert big.covers(big)
+
+    def test_overlaps_and_adjacent(self):
+        a = AddressRange.parse("10.0.0.0-10.0.0.9")
+        b = AddressRange.parse("10.0.0.5-10.0.0.15")
+        c = AddressRange.parse("10.0.0.10-10.0.0.20")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert a.adjacent_to(c)
+        assert not a.adjacent_to(b)
+
+    def test_contains_address(self):
+        r = AddressRange.parse("10.0.0.0-10.0.0.9")
+        assert r.contains_address(Prefix.parse("10.0.0.5/32").network)
+        assert not r.contains_address(Prefix.parse("10.0.0.10/32").network)
+
+    def test_to_prefixes_minimal(self):
+        # 10.0.0.1 - 10.0.0.6 decomposes to /32 /31 /31 /32.
+        r = AddressRange.parse("10.0.0.1-10.0.0.6")
+        got = [str(p) for p in r.to_prefixes()]
+        assert got == ["10.0.0.1/32", "10.0.0.2/31", "10.0.0.4/31", "10.0.0.6/32"]
+
+    def test_to_prefixes_covers_exactly(self):
+        r = AddressRange.parse("63.174.25.0-63.174.31.255")
+        prefixes = list(r.to_prefixes())
+        assert sum(p.size for p in prefixes) == r.size
+        assert all(r.covers_prefix(p) for p in prefixes)
+
+    def test_full_v4_space(self):
+        r = AddressRange(Afi.IPV4, 0, Afi.IPV4.max_address)
+        assert r.as_prefix() == Prefix.parse("0.0.0.0/0")
+
+
+class TestResourceSet:
+    def test_normalizes_overlap_and_adjacency(self):
+        rs = ResourceSet.parse("10.0.0.0/25", "10.0.0.128/25", "10.0.0.64/26")
+        assert len(rs) == 1
+        assert str(rs) == "{10.0.0.0/24}"
+
+    def test_empty(self):
+        rs = ResourceSet.empty()
+        assert rs.is_empty()
+        assert rs.size == 0
+        assert rs.covers(ResourceSet.empty())  # vacuous
+
+    def test_covers_prefix(self):
+        rs = ResourceSet.parse("63.160.0.0/12")
+        assert rs.covers(Prefix.parse("63.174.16.0/20"))
+        assert Prefix.parse("63.174.16.0/20") in rs
+        assert not rs.covers(Prefix.parse("64.0.0.0/20"))
+
+    def test_covers_requires_single_range_containment(self):
+        # Two disjoint /25s do NOT cover the /24 spanning them plus the gap,
+        # but DO cover it if adjacent (normalization merges them).
+        rs = ResourceSet.parse("10.0.0.0/25", "10.0.1.0/25")
+        assert not rs.covers(Prefix.parse("10.0.0.0/24"))
+
+    def test_figure3_hole_punch(self):
+        """Sprint shrinks Continental Broadband's RC around the target ROA.
+
+        Paper, Figure 3: removing 63.174.24.0/24 from 63.174.16.0/20 leaves
+        [63.174.16.0-63.174.23.255] and [63.174.25.0-63.174.31.255].
+        """
+        rc = ResourceSet.parse("63.174.16.0/20")
+        shrunk = rc.subtract(Prefix.parse("63.174.24.0/24"))
+        expected = ResourceSet.parse(
+            "63.174.16.0-63.174.23.255", "63.174.25.0-63.174.31.255"
+        )
+        assert shrunk == expected
+        # The hole is gone, the rest is intact.
+        assert not shrunk.overlaps(Prefix.parse("63.174.24.0/24"))
+        assert shrunk.covers(Prefix.parse("63.174.16.0/21"))
+        assert shrunk.size == rc.size - 256
+
+    def test_subtract_everything(self):
+        rs = ResourceSet.parse("10.0.0.0/24")
+        assert rs.subtract(Prefix.parse("10.0.0.0/24")).is_empty()
+        assert rs.subtract(Prefix.parse("10.0.0.0/8")).is_empty()
+
+    def test_subtract_disjoint_is_noop(self):
+        rs = ResourceSet.parse("10.0.0.0/24")
+        assert rs.subtract(Prefix.parse("11.0.0.0/24")) == rs
+
+    def test_union(self):
+        a = ResourceSet.parse("10.0.0.0/25")
+        b = ResourceSet.parse("10.0.0.128/25")
+        assert a.union(b) == ResourceSet.parse("10.0.0.0/24")
+
+    def test_intersect(self):
+        a = ResourceSet.parse("10.0.0.0/24")
+        b = ResourceSet.parse("10.0.0.128-10.0.1.127")
+        got = a.intersect(b)
+        assert got == ResourceSet.parse("10.0.0.128/25")
+
+    def test_intersect_disjoint(self):
+        a = ResourceSet.parse("10.0.0.0/24")
+        b = ResourceSet.parse("11.0.0.0/24")
+        assert a.intersect(b).is_empty()
+
+    def test_mixed_families(self):
+        rs = ResourceSet.parse("10.0.0.0/8", "2001:db8::/32")
+        assert rs.covers(Prefix.parse("10.1.0.0/16"))
+        assert rs.covers(Prefix.parse("2001:db8:1::/48"))
+        assert len(rs) == 2
+
+    def test_universe(self):
+        rs = ResourceSet.universe(Afi.IPV4)
+        assert rs.covers(Prefix.parse("0.0.0.0/0"))
+        assert rs.size == 2**32
+
+    def test_prefixes_decomposition(self):
+        rs = ResourceSet.parse("63.174.16.0-63.174.23.255", "63.174.25.0-63.174.31.255")
+        prefixes = list(rs.prefixes())
+        assert sum(p.size for p in prefixes) == rs.size
+        assert all(rs.covers(p) for p in prefixes)
+
+    def test_covers_address(self):
+        rs = ResourceSet.parse("10.0.0.0/24")
+        assert rs.covers_address(Afi.IPV4, Prefix.parse("10.0.0.77/32").network)
+        assert not rs.covers_address(Afi.IPV6, 1)
+
+    def test_value_semantics(self):
+        a = ResourceSet.parse("10.0.0.0/25", "10.0.0.128/25")
+        b = ResourceSet.parse("10.0.0.0/24")
+        assert a == b and hash(a) == hash(b)
+
+    def test_iteration_sorted(self):
+        rs = ResourceSet.parse("192.0.2.0/24", "10.0.0.0/24")
+        assert [str(r) for r in rs] == ["10.0.0.0/24", "192.0.2.0/24"]

@@ -1,0 +1,152 @@
+"""Unit tests for the prefix trie and dual-family prefix map."""
+
+import pytest
+
+from repro.resources import Afi, Prefix, PrefixMap, PrefixTrie
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+class TestInsertGetRemove:
+    def test_basic_roundtrip(self):
+        trie = PrefixTrie(Afi.IPV4)
+        trie.insert(p("10.0.0.0/8"), "a")
+        assert trie.get(p("10.0.0.0/8")) == "a"
+        assert len(trie) == 1
+
+    def test_overwrite_keeps_size(self):
+        trie = PrefixTrie(Afi.IPV4)
+        trie[p("10.0.0.0/8")] = "a"
+        trie[p("10.0.0.0/8")] = "b"
+        assert trie[p("10.0.0.0/8")] == "b"
+        assert len(trie) == 1
+
+    def test_get_missing_returns_default(self):
+        trie = PrefixTrie(Afi.IPV4)
+        assert trie.get(p("10.0.0.0/8")) is None
+        assert trie.get(p("10.0.0.0/8"), "x") == "x"
+
+    def test_getitem_missing_raises(self):
+        trie = PrefixTrie(Afi.IPV4)
+        with pytest.raises(KeyError):
+            trie[p("10.0.0.0/8")]
+
+    def test_exact_match_only(self):
+        trie = PrefixTrie(Afi.IPV4)
+        trie.insert(p("10.0.0.0/8"), "a")
+        assert trie.get(p("10.0.0.0/9")) is None
+        assert trie.get(p("10.0.0.0/7")) is None
+
+    def test_root_prefix(self):
+        trie = PrefixTrie(Afi.IPV4)
+        trie.insert(p("0.0.0.0/0"), "default")
+        assert trie.get(p("0.0.0.0/0")) == "default"
+        assert next(iter(trie.covering(p("192.0.2.0/24"))))[1] == "default"
+
+    def test_remove(self):
+        trie = PrefixTrie(Afi.IPV4)
+        trie.insert(p("10.0.0.0/8"), "a")
+        trie.insert(p("10.0.0.0/16"), "b")
+        assert trie.remove(p("10.0.0.0/8")) == "a"
+        assert len(trie) == 1
+        assert trie.get(p("10.0.0.0/16")) == "b"
+
+    def test_remove_missing_raises(self):
+        trie = PrefixTrie(Afi.IPV4)
+        trie.insert(p("10.0.0.0/8"), "a")
+        with pytest.raises(KeyError):
+            trie.remove(p("10.0.0.0/16"))
+        with pytest.raises(KeyError):
+            trie.remove(p("11.0.0.0/8"))
+
+    def test_remove_prunes_but_preserves_others(self):
+        trie = PrefixTrie(Afi.IPV4)
+        trie.insert(p("10.0.0.0/24"), 1)
+        trie.insert(p("10.0.1.0/24"), 2)
+        trie.remove(p("10.0.0.0/24"))
+        assert list(trie.keys()) == [p("10.0.1.0/24")]
+
+    def test_family_mismatch_rejected(self):
+        trie = PrefixTrie(Afi.IPV4)
+        with pytest.raises(ValueError):
+            trie.insert(p("2001:db8::/32"), "x")
+
+
+class TestStructuralQueries:
+    def make_trie(self):
+        trie = PrefixTrie(Afi.IPV4)
+        for text in ["63.160.0.0/12", "63.174.16.0/20", "63.174.16.0/22",
+                     "63.168.0.0/16", "8.0.0.0/8"]:
+            trie.insert(p(text), text)
+        return trie
+
+    def test_covering_shortest_first(self):
+        trie = self.make_trie()
+        got = [str(k) for k, _ in trie.covering(p("63.174.16.0/24"))]
+        assert got == ["63.160.0.0/12", "63.174.16.0/20", "63.174.16.0/22"]
+
+    def test_covering_includes_exact(self):
+        trie = self.make_trie()
+        got = [str(k) for k, _ in trie.covering(p("63.174.16.0/20"))]
+        assert got == ["63.160.0.0/12", "63.174.16.0/20"]
+
+    def test_covering_none(self):
+        trie = self.make_trie()
+        assert list(trie.covering(p("192.0.2.0/24"))) == []
+
+    def test_longest_match(self):
+        trie = self.make_trie()
+        hit = trie.longest_match(p("63.174.16.55/32"))
+        assert hit is not None and str(hit[0]) == "63.174.16.0/22"
+        hit2 = trie.longest_match(p("63.174.24.0/24"))
+        assert hit2 is not None and str(hit2[0]) == "63.174.16.0/20"
+        assert trie.longest_match(p("192.0.2.1/32")) is None
+
+    def test_covered_by_subtree(self):
+        trie = self.make_trie()
+        got = {str(k) for k, _ in trie.covered_by(p("63.174.16.0/20"))}
+        assert got == {"63.174.16.0/20", "63.174.16.0/22"}
+
+    def test_covered_by_everything_under_root(self):
+        trie = self.make_trie()
+        assert len(list(trie.covered_by(p("0.0.0.0/0")))) == 5
+
+    def test_items_in_address_order(self):
+        trie = self.make_trie()
+        keys = [k for k, _ in trie.items()]
+        assert keys == sorted(keys)
+        assert len(list(trie.values())) == 5
+
+
+class TestPrefixMap:
+    def test_dispatches_both_families(self):
+        m = PrefixMap()
+        m.insert(p("10.0.0.0/8"), "v4")
+        m.insert(p("2001:db8::/32"), "v6")
+        assert m[p("10.0.0.0/8")] == "v4"
+        assert m[p("2001:db8::/32")] == "v6"
+        assert len(m) == 2
+        assert p("10.0.0.0/8") in m
+
+    def test_items_v4_before_v6(self):
+        m = PrefixMap()
+        m[p("2001:db8::/32")] = "v6"
+        m[p("10.0.0.0/8")] = "v4"
+        assert [v for _, v in m.items()] == ["v4", "v6"]
+
+    def test_longest_match_per_family(self):
+        m = PrefixMap()
+        m.insert(p("0.0.0.0/0"), "v4-default")
+        hit = m.longest_match(p("192.0.2.1/32"))
+        assert hit is not None and hit[1] == "v4-default"
+        assert m.longest_match(p("2001:db8::1/128")) is None
+
+    def test_remove_and_bool(self):
+        m = PrefixMap()
+        assert not m
+        m.insert(p("10.0.0.0/8"), 1)
+        assert m
+        assert m.remove(p("10.0.0.0/8")) == 1
+        assert not m

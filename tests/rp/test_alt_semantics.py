@@ -1,0 +1,97 @@
+"""Tests for the footnote-5 alternative validity semantics."""
+
+import pytest
+
+from repro.rp import (
+    DispositionVrp,
+    DispositionVrpSet,
+    Route,
+    RouteValidity,
+    SubprefixDisposition,
+    classify_disposition,
+)
+
+INV = SubprefixDisposition.INVALID
+UNK = SubprefixDisposition.UNKNOWN
+
+
+def make(*entries):
+    return DispositionVrpSet([
+        DispositionVrp.parse(text, asn, disp) for text, asn, disp in entries
+    ])
+
+
+class TestClassification:
+    def test_matching_roa_always_valid(self):
+        for disp in (INV, UNK):
+            vrps = make(("63.174.16.0/20", 17054, disp))
+            assert classify_disposition(
+                Route.parse("63.174.16.0/20", 17054), vrps
+            ) is RouteValidity.VALID
+
+    def test_invalid_disposition_matches_rfc6811(self):
+        vrps = make(("63.174.16.0/20", 17054, INV))
+        assert classify_disposition(
+            Route.parse("63.174.17.0/24", 64512), vrps
+        ) is RouteValidity.INVALID
+
+    def test_unknown_disposition_degrades_gracefully(self):
+        vrps = make(("63.174.16.0/20", 17054, UNK))
+        assert classify_disposition(
+            Route.parse("63.174.17.0/24", 64512), vrps
+        ) is RouteValidity.UNKNOWN
+
+    def test_any_invalid_vote_wins(self):
+        vrps = make(
+            ("63.174.16.0/20", 17054, UNK),
+            ("63.160.0.0/12-13", 1239, INV),
+        )
+        assert classify_disposition(
+            Route.parse("63.174.17.0/24", 64512), vrps
+        ) is RouteValidity.INVALID
+
+    def test_uncovered_is_unknown(self):
+        vrps = make(("63.174.16.0/20", 17054, INV))
+        assert classify_disposition(
+            Route.parse("8.8.8.0/24", 15169), vrps
+        ) is RouteValidity.UNKNOWN
+
+    def test_duplicate_payload_stricter_wins(self):
+        vrps = make(
+            ("63.174.16.0/20", 17054, INV),
+            ("63.174.16.0/20", 17054, UNK),
+        )
+        assert classify_disposition(
+            Route.parse("63.174.17.0/24", 64512), vrps
+        ) is RouteValidity.INVALID
+
+
+class TestTheTradeoffIsFundamental:
+    """The paper's open problem, answered: each disposition surrenders
+    exactly what the other protects."""
+
+    def test_side_effect_6_disappears_under_unknown(self):
+        # The /22 ROA is missing; under UNKNOWN disposition its route is
+        # merely unknown (usable by drop-invalid), not invalid.
+        vrps = make(("63.174.16.0/20", 17054, UNK))
+        assert classify_disposition(
+            Route.parse("63.174.16.0/22", 7341), vrps
+        ) is RouteValidity.UNKNOWN
+
+    def test_but_subprefix_hijacks_return_under_unknown(self):
+        # The hijacker's subprefix route is unknown -> selected by
+        # longest-prefix match, even at drop-invalid ASes.
+        vrps = make(("63.174.16.0/20", 17054, UNK))
+        hijack_route = Route.parse("63.174.16.0/21", 666)
+        assert classify_disposition(hijack_route, vrps) is (
+            RouteValidity.UNKNOWN  # not INVALID: nothing filters it
+        )
+
+    def test_invalid_disposition_keeps_hijack_protection_and_se6(self):
+        vrps = make(("63.174.16.0/20", 17054, INV))
+        assert classify_disposition(
+            Route.parse("63.174.16.0/21", 666), vrps
+        ) is RouteValidity.INVALID          # hijack stopped...
+        assert classify_disposition(
+            Route.parse("63.174.16.0/22", 7341), vrps
+        ) is RouteValidity.INVALID          # ...and SE6 stays

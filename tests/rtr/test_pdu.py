@@ -1,0 +1,139 @@
+"""Unit tests for the RTR wire codec (RFC 6810)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resources import ASN, Afi, Prefix
+from repro.rtr import (
+    CacheReset,
+    CacheResponse,
+    EndOfData,
+    ErrorReport,
+    PduDecodeError,
+    PrefixPdu,
+    ResetQuery,
+    SerialNotify,
+    SerialQuery,
+    decode_pdus,
+    encode_pdu,
+)
+
+ALL_PDUS = [
+    SerialNotify(session_id=7, serial=42),
+    SerialQuery(session_id=7, serial=41),
+    ResetQuery(),
+    CacheResponse(session_id=7),
+    PrefixPdu(announce=True, prefix=Prefix.parse("63.174.16.0/20"),
+              max_length=24, asn=ASN(17054)),
+    PrefixPdu(announce=False, prefix=Prefix.parse("2001:db8::/32"),
+              max_length=48, asn=ASN(64512)),
+    EndOfData(session_id=7, serial=42),
+    CacheReset(),
+    ErrorReport(error_code=3, text="unexpected pdu"),
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("pdu", ALL_PDUS, ids=lambda p: type(p).__name__)
+    def test_single_roundtrip(self, pdu):
+        decoded, rest = decode_pdus(encode_pdu(pdu))
+        assert rest == b""
+        assert decoded == [pdu]
+
+    def test_stream_of_many(self):
+        blob = b"".join(encode_pdu(p) for p in ALL_PDUS)
+        decoded, rest = decode_pdus(blob)
+        assert decoded == ALL_PDUS
+        assert rest == b""
+
+    def test_partial_trailing_pdu_buffered(self):
+        blob = b"".join(encode_pdu(p) for p in ALL_PDUS)
+        cut = len(blob) - 5
+        decoded, rest = decode_pdus(blob[:cut])
+        assert len(decoded) == len(ALL_PDUS) - 1
+        more, rest2 = decode_pdus(rest + blob[cut:])
+        assert more == [ALL_PDUS[-1]]
+        assert rest2 == b""
+
+    def test_byte_at_a_time_reassembly(self):
+        blob = b"".join(encode_pdu(p) for p in ALL_PDUS)
+        decoded = []
+        buffer = b""
+        for i in range(len(blob)):
+            buffer += blob[i : i + 1]
+            pdus, buffer = decode_pdus(buffer)
+            decoded.extend(pdus)
+        assert decoded == ALL_PDUS
+
+
+class TestHeaderValidation:
+    def test_wrong_version(self):
+        blob = bytearray(encode_pdu(ResetQuery()))
+        blob[0] = 1
+        with pytest.raises(PduDecodeError):
+            decode_pdus(bytes(blob))
+
+    def test_unknown_type(self):
+        blob = bytearray(encode_pdu(ResetQuery()))
+        blob[1] = 99
+        with pytest.raises(PduDecodeError):
+            decode_pdus(bytes(blob))
+
+    def test_impossible_length(self):
+        blob = bytearray(encode_pdu(ResetQuery()))
+        blob[4:8] = (2).to_bytes(4, "big")
+        with pytest.raises(PduDecodeError):
+            decode_pdus(bytes(blob))
+
+    def test_nonempty_body_on_reset_query(self):
+        import struct
+
+        blob = struct.pack(">BBHI", 0, 2, 0, 9) + b"\x00"
+        with pytest.raises(PduDecodeError):
+            decode_pdus(blob)
+
+    def test_wrong_prefix_body_size(self):
+        import struct
+
+        blob = struct.pack(">BBHI", 0, 4, 0, 10) + b"\x00\x00"
+        with pytest.raises(PduDecodeError):
+            decode_pdus(blob)
+
+    def test_prefix_with_host_bits(self):
+        import struct
+
+        body = struct.pack(">BBBB", 1, 24, 24, 0) + bytes([10, 0, 0, 1]) + (
+            (1).to_bytes(4, "big")
+        )
+        blob = struct.pack(">BBHI", 0, 4, 0, 8 + len(body)) + body
+        with pytest.raises(PduDecodeError):
+            decode_pdus(blob)
+
+    def test_bad_maxlength_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PrefixPdu(announce=True, prefix=Prefix.parse("10.0.0.0/16"),
+                      max_length=8, asn=ASN(1))
+
+
+@st.composite
+def prefix_pdus(draw):
+    length = draw(st.integers(min_value=0, max_value=32))
+    addr = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    network = (addr >> (32 - length)) << (32 - length) if length else 0
+    max_length = draw(st.integers(min_value=length, max_value=32))
+    return PrefixPdu(
+        announce=draw(st.booleans()),
+        prefix=Prefix(Afi.IPV4, network, length),
+        max_length=max_length,
+        asn=ASN(draw(st.integers(min_value=0, max_value=2**32 - 1))),
+    )
+
+
+@given(st.lists(prefix_pdus(), max_size=20))
+@settings(max_examples=100)
+def test_property_prefix_stream_roundtrip(pdus):
+    blob = b"".join(encode_pdu(p) for p in pdus)
+    decoded, rest = decode_pdus(blob)
+    assert decoded == pdus
+    assert rest == b""

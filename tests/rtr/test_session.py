@@ -1,0 +1,231 @@
+"""Tests for the RTR cache server and router client state machines."""
+
+import pytest
+
+from repro.rp import VRP, VrpSet
+from repro.rtr import DuplexPipe, RouterState, RtrCacheServer, RtrRouterClient
+
+
+def vrps(*specs):
+    return VrpSet(VRP.parse(text, asn) for text, asn in specs)
+
+
+FIGURE2 = [
+    ("63.174.16.0/20", 17054),
+    ("63.174.16.0/22", 7341),
+    ("63.161.0.0/16-24", 1239),
+]
+
+
+def make_pair(initial=FIGURE2, **server_kwargs):
+    server = RtrCacheServer(**server_kwargs)
+    if initial:
+        server.update(vrps(*initial))
+    pipe = DuplexPipe()
+    server.attach(pipe)
+    client = RtrRouterClient(pipe)
+    return server, client
+
+
+def pump(server, client, rounds=4):
+    """Run both ends until quiescent."""
+    for _ in range(rounds):
+        server.process()
+        client.process()
+
+
+class TestResetSync:
+    def test_full_sync(self):
+        server, client = make_pair()
+        client.connect()
+        pump(server, client)
+        assert client.state is RouterState.SYNCED
+        assert client.vrp_count == 3
+        assert client.serial == server.serial
+        assert client.vrp_set() == vrps(*FIGURE2)
+
+    def test_empty_cache_sync(self):
+        server, client = make_pair(initial=[])
+        client.connect()
+        pump(server, client)
+        assert client.state is RouterState.SYNCED
+        assert client.vrp_count == 0
+        assert client.serial == 0
+
+    def test_session_id_learned(self):
+        server, client = make_pair(session_id=99)
+        client.connect()
+        pump(server, client)
+        assert client.session_id == 99
+
+
+class TestIncrementalSync:
+    def synced_pair(self):
+        server, client = make_pair()
+        client.connect()
+        pump(server, client)
+        return server, client
+
+    def test_announce_flows(self):
+        server, client = self.synced_pair()
+        new = vrps(*FIGURE2, ("8.8.8.0/24", 15169))
+        server.update(new)
+        pump(server, client)   # notify -> serial query -> delta
+        assert client.vrp_count == 4
+        assert VRP.parse("8.8.8.0/24", 15169) in client.vrp_set()
+        assert client.serial == server.serial
+
+    def test_withdraw_flows(self):
+        """A whack propagates to the router as an RTR withdrawal."""
+        server, client = self.synced_pair()
+        whacked = vrps(*FIGURE2[1:])  # the /20 ROA is gone
+        server.update(whacked)
+        pump(server, client)
+        assert client.vrp_count == 2
+        assert VRP.parse("63.174.16.0/20", 17054) not in client.vrp_set()
+
+    def test_noop_update_keeps_serial(self):
+        server, client = self.synced_pair()
+        serial = server.serial
+        server.update(vrps(*FIGURE2))
+        assert server.serial == serial
+
+    def test_multiple_updates_coalesce(self):
+        server, client = self.synced_pair()
+        server.update(vrps(*FIGURE2, ("8.8.8.0/24", 15169)))
+        server.update(vrps(*FIGURE2))  # and back out again
+        pump(server, client)
+        assert client.vrp_set() == vrps(*FIGURE2)
+        assert client.serial == server.serial
+
+    def test_poll_without_changes(self):
+        server, client = self.synced_pair()
+        client.poll()
+        pump(server, client)
+        assert client.state is RouterState.SYNCED
+        assert client.vrp_count == 3
+
+
+class TestCacheResetPaths:
+    def test_stale_serial_forces_reset(self):
+        server, client = make_pair(history_window=2)
+        client.connect()
+        pump(server, client)
+        # Age the router's serial out of the history window.
+        base = list(FIGURE2)
+        for i in range(4):
+            base.append((f"10.{i}.0.0/16", 64512 + i))
+            server.update(vrps(*base))
+            server.process()  # drain notifies without letting client react
+        client.poll()
+        pump(server, client)
+        # The cache sent Cache Reset; the client resynced from scratch.
+        assert client.state is RouterState.SYNCED
+        assert client.vrp_count == len(base)
+        assert client.serial == server.serial
+
+    def test_session_id_mismatch_forces_reset(self):
+        server, client = make_pair()
+        client.connect()
+        pump(server, client)
+        client.session_id = 12345  # simulate a cache restart from the past
+        client.poll()
+        pump(server, client)
+        assert client.state is RouterState.SYNCED
+        assert client.vrp_count == 3
+
+
+class TestMultipleRouters:
+    def test_two_routers_converge(self):
+        server = RtrCacheServer()
+        server.update(vrps(*FIGURE2))
+        pipes = [DuplexPipe(), DuplexPipe()]
+        clients = [RtrRouterClient(p) for p in pipes]
+        for pipe in pipes:
+            server.attach(pipe)
+        for client in clients:
+            client.connect()
+        for _ in range(4):
+            server.process()
+            for client in clients:
+                client.process()
+        assert all(c.vrp_count == 3 for c in clients)
+        server.update(vrps(*FIGURE2[:1]))
+        for _ in range(4):
+            server.process()
+            for client in clients:
+                client.process()
+        assert all(c.vrp_count == 1 for c in clients)
+
+
+class TestFailureModes:
+    def test_closed_pipe_fails_client(self):
+        server, client = make_pair()
+        client.connect()
+        pump(server, client)
+        client.pipe.close()
+        client.poll()
+        client.process()
+        assert client.state is RouterState.FAILED
+        assert client.errors
+
+    def test_garbage_from_cache_fails_client(self):
+        server, client = make_pair()
+        client.connect()
+        pump(server, client)
+        client.pipe.to_router.send(b"\xff" * 16)
+        client.process()
+        assert client.state is RouterState.FAILED
+
+    def test_server_rejects_bad_session_pdu(self):
+        from repro.rtr import CacheResponse, encode_pdu
+
+        server, client = make_pair()
+        # A router must never send Cache Response; the server errors out.
+        client.pipe.to_cache.send(encode_pdu(CacheResponse(1)))
+        server.process()
+        client.process()
+        assert client.state is RouterState.FAILED
+
+    def test_bad_server_args(self):
+        with pytest.raises(ValueError):
+            RtrCacheServer(session_id=70000)
+        with pytest.raises(ValueError):
+            RtrCacheServer(history_window=0)
+
+
+class TestEndToEndWithRelyingParty:
+    def test_whack_reaches_the_router(self):
+        """Full pipeline: repositories -> relying party -> RTR -> router."""
+        from repro.core import execute_whack, plan_whack
+        from repro.modelgen import build_figure2
+        from repro.repository import Fetcher
+        from repro.rp import RelyingParty, Route, RouteValidity, classify
+
+        world = build_figure2()
+        rp = RelyingParty(
+            world.trust_anchors, Fetcher(world.registry, world.clock),
+            world.clock,
+        )
+        rp.refresh()
+
+        server = RtrCacheServer()
+        server.update(rp.vrps)
+        pipe = DuplexPipe()
+        server.attach(pipe)
+        router = RtrRouterClient(pipe)
+        router.connect()
+        pump(server, router)
+        assert router.vrp_count == 8
+
+        route = Route.parse("63.174.16.0/20", 17054)
+        assert classify(route, router.vrp_set()) is RouteValidity.VALID
+
+        # The whack: repository change -> RP refresh -> RTR delta -> router.
+        execute_whack(plan_whack(world.sprint, world.target20,
+                                 world.continental))
+        rp.refresh()
+        server.update(rp.vrps)
+        pump(server, router)
+        assert router.vrp_count == 7
+        assert classify(route, router.vrp_set()) is not RouteValidity.VALID

@@ -1,0 +1,79 @@
+"""Tests for the experiment CLI (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+class TestCli:
+    def test_fig2(self, capsys):
+        out = run(capsys, "fig2")
+        assert "Continental Broadband" in out
+        assert "8 VRPs, 0 errors" in out
+
+    def test_fig3(self, capsys):
+        out = run(capsys, "fig3")
+        assert "4 additional ROAs" in out
+        assert "overwrite-shrink" in out
+        assert "make-before-break" in out
+
+    def test_fig5_left(self, capsys):
+        out = run(capsys, "fig5")
+        assert "Figure 5 (left)" in out
+        assert "unknown" in out
+
+    def test_fig5_right(self, capsys):
+        out = run(capsys, "fig5", "--right")
+        assert "Figure 5 (right)" in out
+        lines = [l for l in out.splitlines() if l.startswith("63.160.0.0/12 ")]
+        assert lines and "valid" in lines[0]
+
+    def test_tab4(self, capsys):
+        out = run(capsys, "tab4")
+        assert "Resilans" in out and "IN,US" in out
+
+    def test_tab6(self, capsys):
+        out = run(capsys, "tab6")
+        assert "drop-invalid" in out and "depref-invalid" in out
+
+    def test_se6(self, capsys):
+        out = run(capsys, "se6")
+        assert "invalid, not unknown!" in out
+
+    def test_se7_drop(self, capsys):
+        out = run(capsys, "se7", "--policy", "drop-invalid")
+        assert "PERSISTENT FAILURE" in out
+
+    def test_se7_depref(self, capsys):
+        out = run(capsys, "se7", "--policy", "depref-invalid")
+        assert "recovered" in out
+
+    def test_monitor(self, capsys):
+        out = run(capsys, "monitor")
+        assert "recall" in out and "precision" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSideEffectsCommand:
+    def test_sideeffects(self, capsys):
+        out = run(capsys, "sideeffects")
+        for number in range(1, 8):
+            assert f"Side Effect {number}" in out
+
+    def test_granularity(self, capsys):
+        out = run(capsys, "granularity")
+        assert "1048576" in out and "256" in out

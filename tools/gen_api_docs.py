@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate docs/API.md from the live module tree.
+
+Run from the repository root:  python tools/gen_api_docs.py
+"""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import repro
+
+
+def main() -> None:
+    lines = [
+        "# API reference",
+        "",
+        "The public surface of every `repro` package, generated from the live",
+        "module tree (`python tools/gen_api_docs.py` regenerates this file).",
+        "Items listed are each module's `__all__`; see the docstrings for the",
+        "full contracts.",
+        "",
+    ]
+
+    packages = {}
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        module = importlib.import_module(info.name)
+        top = info.name.split(".")[1] if "." in info.name else info.name
+        packages.setdefault(top, []).append((info.name, module))
+
+    for top in sorted(packages):
+        head_module = importlib.import_module(f"repro.{top}")
+        doc = inspect.getdoc(head_module) or ""
+        summary = doc.splitlines()[0] if doc else ""
+        lines += [f"## `repro.{top}`", ""]
+        if summary:
+            lines += [summary, ""]
+        for name, module in sorted(packages[top]):
+            exported = getattr(module, "__all__", None)
+            if not exported or name == f"repro.{top}":
+                continue
+            module_doc = inspect.getdoc(module) or ""
+            module_summary = module_doc.splitlines()[0] if module_doc else ""
+            lines += [f"### `{name}`", ""]
+            if module_summary:
+                lines += [module_summary, ""]
+            for item_name in exported:
+                item = getattr(module, item_name)
+                item_doc = inspect.getdoc(item) or ""
+                item_summary = item_doc.splitlines()[0] if item_doc else ""
+                kind = (
+                    "class" if inspect.isclass(item)
+                    else "function" if callable(item)
+                    else "constant"
+                )
+                lines.append(f"- **`{item_name}`** ({kind}) — {item_summary}")
+            lines.append("")
+
+    for name in ("simtime", "cli"):
+        module = importlib.import_module(f"repro.{name}")
+        doc = inspect.getdoc(module) or ""
+        summary = doc.splitlines()[0] if doc else ""
+        lines += [f"## `repro.{name}`", "", summary, ""]
+        for item_name in getattr(module, "__all__", []):
+            item = getattr(module, item_name)
+            item_doc = inspect.getdoc(item) or ""
+            item_summary = item_doc.splitlines()[0] if item_doc else ""
+            lines.append(f"- **`{item_name}`** — {item_summary}")
+        lines.append("")
+
+    path = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    path.write_text("\n".join(lines), encoding="utf-8")
+    print(f"wrote {path} ({len(lines)} lines)")
+
+
+if __name__ == "__main__":
+    main()
