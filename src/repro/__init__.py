@@ -10,14 +10,133 @@ cross-jurisdiction audit, and a monitoring layer for detecting manipulation.
 
 Layering (import order is strictly bottom-up)::
 
-    resources -> crypto -> rpki -> repository -> rp -> bgp
+    telemetry / simtime (substrate: metrics, simulated time)
+    resources -> crypto -> rpki -> repository -> rp -> bgp -> rtr
                                    \\------------ core / monitor / jurisdiction
                                                   modelgen (fixtures & generators)
+
+**This module is the stable public API.**  Everything re-exported here —
+the names in ``__all__`` — is the documented entry point::
+
+    from repro import Clock, Fetcher, RelyingParty, build_figure2
+
+    world = build_figure2()
+    rp = RelyingParty(world.trust_anchors,
+                      Fetcher(world.registry, world.clock))
+    rp.refresh()
+
+Subpackages stay importable for the long tail (``repro.core``,
+``repro.bgp``, ...), but code written against the facade will not break
+as internals move.  Telemetry (``default_registry``, ``MetricsRegistry``,
+``trace``) is part of the facade and its *metric names* are likewise a
+stability guarantee — see docs/telemetry.md.
 
 See DESIGN.md for the full system inventory and the experiment index that
 maps every figure and table of the paper to a benchmark.
 """
 
-__version__ = "1.0.0"
+from .core import (
+    ClosedLoopSimulation,
+    collateral_of_revocation,
+    demonstrate_all,
+    execute_whack,
+    missing_roa_impact,
+    plan_whack,
+    validity_matrix,
+    whack_blast_radius,
+)
+from .crypto import KeyFactory, generate_keypair
+from .jurisdiction import cross_border_audit, render_table4
+from .modelgen import (
+    DeploymentConfig,
+    Figure2World,
+    build_deployment,
+    build_figure2,
+    build_table4_world,
+    figure2_bgp,
+)
+from .monitor import (
+    ChurnConfig,
+    ChurnEngine,
+    DetectionExperiment,
+    analyze,
+    diff_snapshots,
+    take_snapshot,
+)
+from .repository import (
+    FaultInjector,
+    FaultKind,
+    Fetcher,
+    FetchResult,
+    FetchStatus,
+    LocalCache,
+    RepositoryRegistry,
+    RepositoryServer,
+    RsyncUri,
+    always_reachable,
+)
+from .resources import ASN, Afi, Prefix, PrefixTrie, ResourceSet
+from .rp import (
+    VRP,
+    PathValidator,
+    RefreshReport,
+    RelyingParty,
+    Route,
+    RouteValidity,
+    SuspendersRelyingParty,
+    ValidationRun,
+    VrpSet,
+    classify,
+)
+from .rpki import CertificateAuthority, ResourceCertificate, Roa
+from .rtr import DuplexPipe, RtrCacheServer, RtrRouterClient
+from .simtime import DAY, HOUR, YEAR, Clock
+from .telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    default_registry,
+    reset_default_metrics,
+    trace,
+)
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    # simulated time
+    "Clock", "DAY", "HOUR", "YEAR",
+    # telemetry
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Span",
+    "default_registry", "reset_default_metrics", "trace",
+    # resources
+    "ASN", "Afi", "Prefix", "PrefixTrie", "ResourceSet",
+    # crypto
+    "KeyFactory", "generate_keypair",
+    # rpki objects & authorities
+    "CertificateAuthority", "ResourceCertificate", "Roa",
+    # repositories & delivery
+    "FaultInjector", "FaultKind", "FetchResult", "FetchStatus", "Fetcher",
+    "LocalCache", "RepositoryRegistry", "RepositoryServer", "RsyncUri",
+    "always_reachable",
+    # relying party
+    "PathValidator", "RefreshReport", "RelyingParty", "Route",
+    "RouteValidity", "SuspendersRelyingParty", "VRP", "ValidationRun",
+    "VrpSet", "classify",
+    # rtr
+    "DuplexPipe", "RtrCacheServer", "RtrRouterClient",
+    # model fixtures
+    "DeploymentConfig", "Figure2World", "build_deployment", "build_figure2",
+    "build_table4_world", "figure2_bgp",
+    # the paper's contribution
+    "ClosedLoopSimulation", "collateral_of_revocation", "demonstrate_all",
+    "execute_whack", "missing_roa_impact", "plan_whack", "validity_matrix",
+    "whack_blast_radius",
+    # monitoring
+    "ChurnConfig", "ChurnEngine", "DetectionExperiment", "analyze",
+    "diff_snapshots", "take_snapshot",
+    # jurisdiction
+    "cross_border_audit", "render_table4",
+]

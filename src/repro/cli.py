@@ -15,7 +15,10 @@
     python -m repro all             # everything, in order
 
 Every command is deterministic (fixed seeds) and prints a self-contained
-text artifact; the same computations back the pytest benchmarks.
+text artifact; the same computations back the pytest benchmarks.  Adding
+``--emit-metrics`` (optionally ``--json``) to any command appends the
+rendered telemetry registry — see docs/telemetry.md for the metric
+inventory.
 """
 
 from __future__ import annotations
@@ -28,14 +31,43 @@ __all__ = ["main"]
 
 
 # ---------------------------------------------------------------------------
+# shared construction
+# ---------------------------------------------------------------------------
+
+
+def _build_rp(world, **opts):
+    """One relying party wired to *world*, telemetry and faults included.
+
+    The shared boilerplate every command needs: a
+    :class:`~repro.repository.Fetcher` over the world's registry and
+    clock, handed to a :class:`~repro.rp.RelyingParty`.  Keyword options
+    are split between the two constructors: ``reachability``, ``faults``
+    and ``metrics`` go to the fetcher; everything else (``keep_stale``,
+    ``strict_manifests``) to the relying party, which shares the same
+    telemetry registry.
+    """
+    from .repository import Fetcher
+    from .rp import RelyingParty
+
+    fetcher_opts = {
+        key: opts.pop(key)
+        for key in ("reachability", "faults", "metrics")
+        if key in opts
+    }
+    fetcher = Fetcher(world.registry, world.clock, **fetcher_opts)
+    return RelyingParty(
+        world.trust_anchors, fetcher,
+        metrics=fetcher.metrics, **opts,
+    )
+
+
+# ---------------------------------------------------------------------------
 # commands
 # ---------------------------------------------------------------------------
 
 
 def cmd_fig2(_args) -> None:
     from .modelgen import build_figure2
-    from .repository import Fetcher
-    from .rp import RelyingParty
 
     world = build_figure2()
     print("Figure 2 — excerpt of a model RPKI\n")
@@ -44,8 +76,7 @@ def cmd_fig2(_args) -> None:
         print(f"{ca.handle:<24} {str(ca.resources):<36} parent: {parent}")
         for roa in ca.issued_roas.values():
             print(f"    ROA {roa.describe()}")
-    rp = RelyingParty(world.trust_anchors,
-                      Fetcher(world.registry, world.clock), world.clock)
+    rp = _build_rp(world)
     report = rp.refresh()
     print(f"\nrelying party: {len(rp.vrps)} VRPs, "
           f"{len(report.run.errors())} errors")
@@ -264,9 +295,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the paper's tables and figures.",
     )
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument(
+        "--emit-metrics", action="store_true",
+        help="append the rendered telemetry registry to the artifact",
+    )
+    telemetry.add_argument(
+        "--json", action="store_true",
+        help="render the telemetry registry as JSON (implies --emit-metrics)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name in _COMMANDS:
-        sub = subparsers.add_parser(name, help=f"run the {name} experiment")
+        sub = subparsers.add_parser(
+            name, parents=[telemetry], help=f"run the {name} experiment",
+        )
         if name in ("fig5", "all"):
             sub.add_argument(
                 "--right", action="store_true",
@@ -282,6 +324,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _emit_metrics(as_json: bool) -> None:
+    """Append the default registry (everything the command touched)."""
+    from .telemetry import default_registry
+
+    registry = default_registry()
+    print()
+    print("=" * 70)
+    print("== telemetry")
+    print("=" * 70)
+    if as_json:
+        print(registry.render_json(indent=2))
+    else:
+        print(registry.render_text(), end="")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     # Defaults for 'all', which shares handlers with fig5/se7.
@@ -291,6 +348,10 @@ def main(argv: list[str] | None = None) -> int:
         args.policy = "drop-invalid"
     try:
         _COMMANDS[args.command](args)
+        if args.json:
+            args.emit_metrics = True
+        if args.emit_metrics:
+            _emit_metrics(args.json)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; that is not an error.
         return 0

@@ -15,11 +15,29 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..telemetry import default_registry
 from .errors import KeySizeError, SignatureError
 from .hashing import sha256
 from .prime import generate_prime
 
 __all__ = ["RsaPublicKey", "RsaPrivateKey", "generate_keypair"]
+
+# Keys are frozen dataclasses with no injection point, so signature
+# telemetry binds to the process-global registry at import time (the
+# default registry is a permanent singleton, only ever reset in place).
+_SIGN_TOTAL = default_registry().counter(
+    "repro_crypto_sign_total", help="RSA signatures produced"
+)
+_VERIFY_TOTAL = default_registry().counter(
+    "repro_crypto_verify_total",
+    help="RSA signature verifications, by outcome",
+    labelnames=("outcome",),
+)
+_VERIFY_ACCEPTED = _VERIFY_TOTAL.labels(outcome="accepted")
+_VERIFY_REJECTED = _VERIFY_TOTAL.labels(outcome="rejected")
+_KEYGEN_TOTAL = default_registry().counter(
+    "repro_crypto_keygen_total", help="RSA keypairs generated"
+)
 
 # SHA-256 DigestInfo prefix from RFC 8017, kept verbatim so padded messages
 # are structured exactly like real PKCS#1 v1.5 signatures.
@@ -52,6 +70,12 @@ class RsaPublicKey:
         Structural errors (wrong length) return False rather than raising,
         so relying-party code can treat any bad signature uniformly.
         """
+        ok = self._verify_raw(message, signature)
+        (_VERIFY_ACCEPTED if ok else _VERIFY_REJECTED).inc()
+        return ok
+
+    def _verify_raw(self, message: bytes, signature: bytes) -> bool:
+        """The uninstrumented check (benchmarked against :meth:`verify`)."""
         if len(signature) != self.modulus_bytes:
             return False
         sig_int = int.from_bytes(signature, "big")
@@ -79,6 +103,11 @@ class RsaPrivateKey:
 
     def sign(self, message: bytes) -> bytes:
         """Sign SHA-256(message) with PKCS#1-v1.5-style padding."""
+        _SIGN_TOTAL.inc()
+        return self._sign_raw(message)
+
+    def _sign_raw(self, message: bytes) -> bytes:
+        """The uninstrumented operation (benchmarked against :meth:`sign`)."""
         padded = _pad(message, self.public.modulus_bytes)
         m = int.from_bytes(padded, "big")
         if m >= self.public.modulus:
@@ -114,6 +143,7 @@ def generate_keypair(bits: int = 512, rng: random.Random | None = None) -> RsaPr
             d = pow(_PUBLIC_EXPONENT, -1, phi)
         except ValueError:
             continue  # e not invertible mod phi; rare, retry
+        _KEYGEN_TOTAL.inc()
         return RsaPrivateKey(public=RsaPublicKey(modulus=n), d=d)
 
 

@@ -16,6 +16,7 @@ from typing import Callable
 
 from ..repository import RepositoryRegistry
 from ..simtime import Clock, HOUR
+from ..telemetry import MetricsRegistry, default_registry
 from .alerts import Alert, AlertKind, analyze
 from .churn import ChurnEngine
 from .diff import diff_snapshots
@@ -87,6 +88,7 @@ class DetectionExperiment:
         churn: ChurnEngine,
         clock: Clock,
         epoch_seconds: int = HOUR,
+        metrics: MetricsRegistry | None = None,
     ):
         self.registry = registry
         self.churn = churn
@@ -94,6 +96,27 @@ class DetectionExperiment:
         self.epoch_seconds = epoch_seconds
         self.history: list[EpochAlerts] = []
         self._last_snapshot: RpkiSnapshot = take_snapshot(registry, clock.now)
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_epochs = self.metrics.counter(
+            "repro_monitor_epochs_total", help="monitor epochs executed"
+        )
+        self._m_alerts = self.metrics.counter(
+            "repro_monitor_alerts_total",
+            help="alerts raised by the monitor, by kind",
+            labelnames=("kind",),
+        )
+        self._m_detections = self.metrics.counter(
+            "repro_monitor_detections_total",
+            help="attacked ROAs flagged by a suspicious alert in their epoch",
+        )
+        self._m_missed = self.metrics.counter(
+            "repro_monitor_missed_attacks_total",
+            help="attacked ROAs that no suspicious alert flagged",
+        )
+        self._m_false_positives = self.metrics.counter(
+            "repro_monitor_false_positives_total",
+            help="suspicious alerts not explained by any attack in their epoch",
+        )
 
     def run_epoch(self, attack: AttackFn | None = None) -> EpochAlerts:
         """One epoch: churn, optional attack, snapshot, diff, classify."""
@@ -113,6 +136,16 @@ class DetectionExperiment:
             attacked_payloads=attacked,
         )
         self.history.append(epoch)
+        self._m_epochs.inc()
+        for alert in alerts:
+            self._m_alerts.inc(kind=alert.kind.value)
+        detected, missed, false_positives = _score_epoch(epoch)
+        if detected:
+            self._m_detections.inc(detected)
+        if missed:
+            self._m_missed.inc(missed)
+        if false_positives:
+            self._m_false_positives.inc(false_positives)
         return epoch
 
     def score(self) -> DetectionScore:
@@ -123,20 +156,30 @@ class DetectionExperiment:
                 score.alerts_by_kind[alert.kind] = (
                     score.alerts_by_kind.get(alert.kind, 0) + 1
                 )
-            suspicious = epoch.suspicious
-            score.suspicious_alerts += len(suspicious)
-            flagged_payloads = " | ".join(
-                f"{a.subject} {a.detail}" for a in suspicious
-            )
-            for payload in epoch.attacked_payloads:
-                if payload in flagged_payloads:
-                    score.true_positives += 1
-                else:
-                    score.false_negatives += 1
-            # Suspicious alerts not accounted for by any attacked payload
-            # in this epoch are false positives.
-            for alert in suspicious:
-                blob = f"{alert.subject} {alert.detail}"
-                if not any(p in blob for p in epoch.attacked_payloads):
-                    score.false_positive_alerts += 1
+            score.suspicious_alerts += len(epoch.suspicious)
+            detected, missed, false_positives = _score_epoch(epoch)
+            score.true_positives += detected
+            score.false_negatives += missed
+            score.false_positive_alerts += false_positives
         return score
+
+
+def _score_epoch(epoch: EpochAlerts) -> tuple[int, int, int]:
+    """(detected, missed, false-positive) counts for one epoch.
+
+    An attacked payload counts as detected when some suspicious alert's
+    subject/detail names it; a suspicious alert not explained by any
+    attacked payload of its epoch is a false positive.
+    """
+    suspicious = epoch.suspicious
+    flagged_payloads = " | ".join(f"{a.subject} {a.detail}" for a in suspicious)
+    detected = sum(
+        1 for payload in epoch.attacked_payloads if payload in flagged_payloads
+    )
+    missed = len(epoch.attacked_payloads) - detected
+    false_positives = sum(
+        1 for alert in suspicious
+        if not any(p in f"{alert.subject} {alert.detail}"
+                   for p in epoch.attacked_payloads)
+    )
+    return detected, missed, false_positives

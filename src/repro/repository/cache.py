@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..telemetry import MetricsRegistry, default_registry
 from .fetch import FetchResult, FetchStatus
 
 __all__ = ["CachedPoint", "LocalCache"]
@@ -41,9 +42,23 @@ class CachedPoint:
 class LocalCache:
     """Per-relying-party storage of fetched publication points."""
 
-    def __init__(self, *, keep_stale: bool = True):
+    def __init__(
+        self,
+        *,
+        keep_stale: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.keep_stale = keep_stale
         self._points: dict[str, CachedPoint] = {}
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_updates = self.metrics.counter(
+            "repro_cache_updates_total",
+            help="fetch results folded into the cache, by effect",
+            labelnames=("effect",),
+        )
+        self._m_points = self.metrics.gauge(
+            "repro_cache_points", help="publication points currently cached"
+        )
 
     def update(self, result: FetchResult) -> CachedPoint:
         """Fold one fetch result into the cache."""
@@ -53,8 +68,15 @@ class LocalCache:
         if result.ok:
             entry.files = dict(result.files)
             entry.last_success = result.fetched_at
-        elif not self.keep_stale:
+            self._m_updates.inc(effect="hit")
+        elif self.keep_stale:
+            # Failed refresh, last good copy kept — the paper's deployed-RP
+            # default, and the state Stalloris-style attacks try to force.
+            self._m_updates.inc(effect="stale_keep")
+        else:
             entry.files = {}
+            self._m_updates.inc(effect="evict")
+        self._m_points.set(len(self._points))
         return entry
 
     def point(self, uri: str) -> CachedPoint | None:
@@ -78,7 +100,9 @@ class LocalCache:
 
     def forget(self, uri: str) -> None:
         """Drop a point from the cache entirely."""
-        self._points.pop(uri, None)
+        if self._points.pop(uri, None) is not None:
+            self._m_updates.inc(effect="evict")
+            self._m_points.set(len(self._points))
 
     def __len__(self) -> int:
         return len(self._points)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..simtime import Clock
+from ..telemetry import MetricsRegistry, default_registry
 from .errors import UnknownHostError
 from .faults import FaultInjector
 from .server import HostLocator, RepositoryRegistry
@@ -65,6 +66,9 @@ class Fetcher:
         Predicate the routing layer provides; default ignores routing.
     faults:
         Optional fault injector applied to everything fetched.
+    metrics:
+        Telemetry registry for fetch counters (None → the process-global
+        default registry).
     """
 
     def __init__(
@@ -74,12 +78,30 @@ class Fetcher:
         *,
         reachability: ReachabilityPredicate = always_reachable,
         faults: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self._registry = registry
         self._clock = clock
         self.reachability = reachability
         self.faults = faults
         self.fetch_log: list[FetchResult] = []
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_fetches = self.metrics.counter(
+            "repro_fetch_total",
+            help="publication-point fetches by outcome",
+            labelnames=("status",),
+        )
+        self._m_bytes = self.metrics.counter(
+            "repro_fetch_bytes_total", help="bytes delivered by successful fetches"
+        )
+        self._m_objects = self.metrics.counter(
+            "repro_fetch_objects_total", help="files delivered by successful fetches"
+        )
+
+    @property
+    def clock(self) -> Clock:
+        """The simulated clock stamping this fetcher's results."""
+        return self._clock
 
     def fetch_point(self, uri: str | RsyncUri) -> FetchResult:
         """Sync one publication point directory.
@@ -120,4 +142,8 @@ class Fetcher:
 
     def _log(self, result: FetchResult) -> FetchResult:
         self.fetch_log.append(result)
+        self._m_fetches.inc(status=result.status.value)
+        if result.files:
+            self._m_objects.inc(len(result.files))
+            self._m_bytes.inc(sum(len(data) for data in result.files.values()))
         return result

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from ..crypto import sha256_hex
 from ..repository.uri import RsyncUri
+from ..telemetry import MetricsRegistry, default_registry
 from ..rpki.ca import CRL_FILE, MANIFEST_FILE
 from ..rpki.cert import ResourceCertificate
 from ..rpki.crl import Crl
@@ -113,11 +114,26 @@ class PathValidator:
         trust_anchors: list[ResourceCertificate],
         *,
         strict_manifests: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         if not trust_anchors:
             raise ValueError("at least one trust anchor is required")
         self.trust_anchors = list(trust_anchors)
         self.strict_manifests = strict_manifests
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_runs = self.metrics.counter(
+            "repro_validation_runs_total", help="full path-validation passes"
+        )
+        self._m_objects = self.metrics.counter(
+            "repro_validation_objects_total",
+            help="objects accepted by path validation, by type",
+            labelnames=("type",),
+        )
+        self._m_issues = self.metrics.counter(
+            "repro_validation_issues_total",
+            help="validation issues recorded, by severity",
+            labelnames=("severity",),
+        )
 
     def run(self, cache_files: dict[str, dict[str, bytes]], now: int) -> ValidationRun:
         """Validate everything reachable from the trust anchors.
@@ -144,6 +160,17 @@ class PathValidator:
                 continue
             result.validated_cas.append(anchor)
             self._descend(anchor, cache_files, now, result, seen_cas, depth=0)
+        self._m_runs.inc()
+        if result.validated_cas:
+            self._m_objects.inc(len(result.validated_cas), type="ca")
+        if result.validated_roas:
+            self._m_objects.inc(len(result.validated_roas), type="roa")
+        if result.contacts:
+            self._m_objects.inc(len(result.contacts), type="ghostbusters")
+        for severity in Severity:
+            count = sum(1 for i in result.issues if i.severity is severity)
+            if count:
+                self._m_issues.inc(count, severity=severity.value)
         return result
 
     # -- internals ----------------------------------------------------------

@@ -22,6 +22,7 @@ from ..repository.fetch import Fetcher, FetchResult
 from ..repository.uri import RsyncUri
 from ..rpki.cert import ResourceCertificate
 from ..simtime import Clock
+from ..telemetry import MetricsRegistry, default_registry
 from .origin import classify
 from .pathval import PathValidator, ValidationRun
 from .states import Route, RouteValidity
@@ -54,29 +55,52 @@ class RelyingParty:
         The delivery path (carries the routing-reachability predicate and
         the fault model).
     clock:
-        Simulated time.
+        Simulated time; ``None`` (the default) reuses the fetcher's clock,
+        which is almost always what a call site wants.
     keep_stale:
         Cache policy on failed refresh (see :class:`LocalCache`).
     strict_manifests:
         Validator policy on manifest trouble (see :class:`PathValidator`).
+    metrics:
+        Telemetry registry shared with this RP's cache and validator
+        (None → the process-global default registry).  Give each relying
+        party its own registry to keep their metrics separable.
     """
 
     def __init__(
         self,
         trust_anchors: list[ResourceCertificate],
         fetcher: Fetcher,
-        clock: Clock,
+        clock: Clock | None = None,
         *,
         keep_stale: bool = True,
         strict_manifests: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         self.fetcher = fetcher
-        self.cache = LocalCache(keep_stale=keep_stale)
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.cache = LocalCache(keep_stale=keep_stale, metrics=self.metrics)
         self.validator = PathValidator(
-            trust_anchors, strict_manifests=strict_manifests
+            trust_anchors, strict_manifests=strict_manifests,
+            metrics=self.metrics,
         )
-        self._clock = clock
+        self._clock = clock if clock is not None else fetcher.clock
         self._last_run: ValidationRun | None = None
+        self._m_refreshes = self.metrics.counter(
+            "repro_rp_refresh_total", help="completed refresh cycles"
+        )
+        self._m_rounds = self.metrics.counter(
+            "repro_rp_refresh_rounds_total",
+            help="fetch-validate discovery rounds across all refreshes",
+        )
+        self._m_vrps = self.metrics.gauge(
+            "repro_rp_vrps", help="VRPs produced by the most recent refresh"
+        )
+        self._m_classifications = self.metrics.counter(
+            "repro_rp_route_classifications_total",
+            help="RFC 6811 route classifications, by resulting state",
+            labelnames=("state",),
+        )
 
     # -- the refresh cycle ----------------------------------------------------
 
@@ -89,22 +113,26 @@ class RelyingParty:
             for anchor in self.validator.trust_anchors
         }
         run = ValidationRun()
-        while pending:
-            report.rounds += 1
-            for uri in sorted(pending):
-                result = self.fetcher.fetch_point(uri)
-                self.cache.update(result)
-                report.fetches.append(result)
-                fetched.add(uri)
-            run = self.validator.run(self.cache.all_files(), self._clock.now)
-            discovered = {
-                str(RsyncUri.parse(uri))
-                for cert in run.validated_cas
-                for uri in cert.all_publication_uris
-            }
-            pending = discovered - fetched
+        with self.metrics.trace("repro_rp_refresh_seconds", self._clock):
+            while pending:
+                report.rounds += 1
+                for uri in sorted(pending):
+                    result = self.fetcher.fetch_point(uri)
+                    self.cache.update(result)
+                    report.fetches.append(result)
+                    fetched.add(uri)
+                run = self.validator.run(self.cache.all_files(), self._clock.now)
+                discovered = {
+                    str(RsyncUri.parse(uri))
+                    for cert in run.validated_cas
+                    for uri in cert.all_publication_uris
+                }
+                pending = discovered - fetched
         report.run = run
         self._last_run = run
+        self._m_refreshes.inc()
+        self._m_rounds.inc(report.rounds)
+        self._m_vrps.set(len(run.vrps))
         return report
 
     # -- classification surface -------------------------------------------------
@@ -122,7 +150,9 @@ class RelyingParty:
 
     def classify(self, route: Route) -> RouteValidity:
         """RFC 6811 classification against the current VRP set."""
-        return classify(route, self.vrps)
+        state = classify(route, self.vrps)
+        self._m_classifications.inc(state=state.value)
+        return state
 
     def classify_parts(self, prefix_text: str, origin: int) -> RouteValidity:
         return self.classify(Route.parse(prefix_text, origin))

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..rp.vrp import VRP, VrpSet
+from ..telemetry import MetricsRegistry, default_registry
 from .channel import ChannelClosed, DuplexPipe
 from .pdu import (
     CacheReset,
@@ -35,6 +36,21 @@ __all__ = ["RtrCacheServer"]
 
 _DEFAULT_HISTORY_WINDOW = 16
 
+# CamelCase PDU class name -> snake_case label value, cached because the
+# lookup sits on the per-PDU send path.
+_PDU_LABELS: dict[type, str] = {}
+
+
+def _pdu_label(pdu: Pdu) -> str:
+    label = _PDU_LABELS.get(type(pdu))
+    if label is None:
+        name = type(pdu).__name__
+        label = "".join(
+            ("_" + ch.lower()) if ch.isupper() else ch for ch in name
+        ).lstrip("_")
+        _PDU_LABELS[type(pdu)] = label
+    return label
+
 
 @dataclass
 class _Session:
@@ -52,7 +68,13 @@ class _Delta:
 class RtrCacheServer:
     """An RTR cache serving the VRP set of one relying party."""
 
-    def __init__(self, *, session_id: int = 1, history_window: int = _DEFAULT_HISTORY_WINDOW):
+    def __init__(
+        self,
+        *,
+        session_id: int = 1,
+        history_window: int = _DEFAULT_HISTORY_WINDOW,
+        metrics: MetricsRegistry | None = None,
+    ):
         if not 0 <= session_id <= 0xFFFF:
             raise ValueError(f"session id out of range: {session_id}")
         if history_window < 1:
@@ -63,6 +85,22 @@ class RtrCacheServer:
         self._current: set[VRP] = set()
         self._history: dict[int, _Delta] = {}
         self._sessions: list[_Session] = []
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_pdus = self.metrics.counter(
+            "repro_rtr_pdus_sent_total",
+            help="PDUs sent to router sessions, by PDU type",
+            labelnames=("type",),
+        )
+        # Bound children per PDU class: label resolution is too slow for
+        # the per-PDU send path, a child increment is one attribute add.
+        self._pdu_counters: dict[type, object] = {}
+        self._m_serial_bumps = self.metrics.counter(
+            "repro_rtr_serial_bumps_total",
+            help="serial increments caused by real VRP-set change",
+        )
+        self._m_vrps = self.metrics.gauge(
+            "repro_rtr_vrps", help="VRPs in the currently served set"
+        )
 
     # -- data-side API --------------------------------------------------------
 
@@ -79,6 +117,8 @@ class RtrCacheServer:
             return self.serial
         self.serial += 1
         self._current = new_set
+        self._m_serial_bumps.inc()
+        self._m_vrps.set(len(new_set))
         self._history[self.serial] = _Delta(announced, withdrawn)
         stale = [s for s in self._history if s <= self.serial - self.history_window]
         for s in stale:
@@ -96,12 +136,22 @@ class RtrCacheServer:
         """Register a router session on *pipe*."""
         self._sessions.append(_Session(pipe=pipe))
 
+    def _count_pdu(self, pdu: Pdu) -> None:
+        child = self._pdu_counters.get(type(pdu))
+        if child is None:
+            child = self._pdu_counters[type(pdu)] = (
+                self._m_pdus.labels(type=_pdu_label(pdu))
+            )
+        child.inc()
+
     def _notify_all(self) -> None:
-        notify = encode_pdu(SerialNotify(self.session_id, self.serial))
+        notify = SerialNotify(self.session_id, self.serial)
+        encoded = encode_pdu(notify)
         for session in self._sessions:
             if session.alive and not session.pipe.closed:
                 try:
-                    session.pipe.to_router.send(notify)
+                    session.pipe.to_router.send(encoded)
+                    self._count_pdu(notify)
                 except ChannelClosed:
                     session.alive = False
 
@@ -173,9 +223,9 @@ class RtrCacheServer:
                 ))
         self._send(session, EndOfData(self.session_id, self.serial))
 
-    @staticmethod
-    def _send(session: _Session, pdu: Pdu) -> None:
+    def _send(self, session: _Session, pdu: Pdu) -> None:
         try:
             session.pipe.to_router.send(encode_pdu(pdu))
+            self._count_pdu(pdu)
         except ChannelClosed:
             session.alive = False

@@ -1,0 +1,100 @@
+"""Spans are timed by the simulated clock — deterministically."""
+
+import pytest
+
+from repro.simtime import Clock
+from repro.telemetry import MetricsRegistry, Span, default_registry, trace
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestSpanTiming:
+    def test_duration_is_simulated_elapsed_time(self, registry):
+        clock = Clock(start=100)
+        with registry.trace("repro_work_seconds", clock) as span:
+            clock.advance(42)
+        assert span.start == 100 and span.end == 142
+        assert span.duration == 42
+
+    def test_no_clock_advance_means_zero_duration(self, registry):
+        clock = Clock()
+        with registry.trace("repro_work_seconds", clock):
+            pass
+        assert registry.spans[-1].duration == 0
+
+    def test_duration_lands_in_histogram(self, registry):
+        clock = Clock()
+        with registry.trace("repro_work_seconds", clock):
+            clock.advance(30)
+        sample = registry.get("repro_work_seconds").sample()
+        assert sample.count == 1 and sample.sum == 30.0
+
+    def test_labels_flow_through(self, registry):
+        clock = Clock()
+        with registry.trace("repro_work_seconds", clock, phase="fetch"):
+            clock.advance(5)
+        span = registry.spans[-1]
+        assert span.labels == {"phase": "fetch"}
+        sample = registry.get("repro_work_seconds").sample(phase="fetch")
+        assert sample.sum == 5.0
+
+    def test_exception_still_closes_span(self, registry):
+        clock = Clock()
+        with pytest.raises(RuntimeError):
+            with registry.trace("repro_work_seconds", clock):
+                clock.advance(7)
+                raise RuntimeError("boom")
+        span = registry.spans[-1]
+        assert span.end == 7 and span.duration == 7
+        assert registry.get("repro_work_seconds").sample().count == 1
+
+    def test_identical_runs_produce_identical_spans(self):
+        def run():
+            registry = MetricsRegistry()
+            clock = Clock()
+            for step in (10, 20, 30):
+                with registry.trace("repro_step_seconds", clock):
+                    clock.advance(step)
+            return registry.render_text()
+
+        assert run() == run()
+
+    def test_nested_spans(self, registry):
+        clock = Clock()
+        with registry.trace("repro_outer_seconds", clock):
+            clock.advance(1)
+            with registry.trace("repro_inner_seconds", clock):
+                clock.advance(2)
+            clock.advance(3)
+        outer, inner = registry.spans
+        assert (outer.name, outer.duration) == ("repro_outer_seconds", 6)
+        assert (inner.name, inner.duration) == ("repro_inner_seconds", 2)
+
+
+class TestSpanSerialization:
+    def test_round_trip(self):
+        span = Span("repro_x_seconds", start=5, end=9, labels={"a": "b"})
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_str_form(self):
+        span = Span("repro_x_seconds", start=5, end=9, labels={"a": "b"})
+        assert str(span) == "repro_x_seconds[5..9] a=b"
+
+
+class TestModuleLevelTrace:
+    def test_defaults_to_global_registry(self):
+        clock = Clock()
+        before = len(default_registry().spans)
+        with trace("repro_test_module_seconds", clock):
+            clock.advance(1)
+        assert len(default_registry().spans) == before + 1
+
+    def test_explicit_registry_wins(self):
+        own = MetricsRegistry()
+        clock = Clock()
+        with trace("repro_test_module_seconds", clock, registry=own):
+            pass
+        assert len(own.spans) == 1

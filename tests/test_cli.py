@@ -3,6 +3,16 @@
 import pytest
 
 from repro.cli import main
+from repro.telemetry import reset_default_metrics
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_registry():
+    """Each CLI invocation starts from a zeroed process-global registry,
+    like the fresh process a shell user gets."""
+    reset_default_metrics()
+    yield
+    reset_default_metrics()
 
 
 def run(capsys, *argv):
@@ -66,6 +76,36 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestEmitMetrics:
+    def test_fig2_emit_metrics_appends_registry(self, capsys):
+        out = run(capsys, "fig2", "--emit-metrics")
+        assert "8 VRPs, 0 errors" in out          # artifact unchanged...
+        assert "== telemetry" in out              # ...registry appended
+        assert "repro_fetch_total" in out
+        assert "repro_rp_vrps 8" in out
+        assert "repro_validation_runs_total" in out
+
+    def test_json_implies_emit_metrics(self, capsys):
+        import json
+
+        out = run(capsys, "fig2", "--json")
+        payload = out[out.index("== telemetry"):]
+        blob = payload[payload.index("{"):]
+        data = json.loads(blob)
+        names = {metric["name"] for metric in data["metrics"]}
+        assert "repro_rp_vrps" in names
+        assert "repro_fetch_total" in names
+
+    def test_without_flag_no_registry(self, capsys):
+        out = run(capsys, "fig2")
+        assert "repro_fetch_total" not in out
+
+    def test_monitor_emit_metrics(self, capsys):
+        out = run(capsys, "monitor", "--emit-metrics")
+        assert "repro_monitor_epochs_total 8" in out
+        assert "repro_monitor_alerts_total" in out
 
 
 class TestSideEffectsCommand:

@@ -1,0 +1,45 @@
+"""Tier-1 hook for the telemetry lint (tools/check_telemetry_names.py).
+
+Fails the test suite if any module under ``src/repro`` registers a metric
+whose name breaks the ``repro_``/snake_case rule, or reads the wall clock
+(``time.time()`` and friends) instead of the simulated Clock.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_telemetry_names  # noqa: E402
+
+
+def test_src_tree_is_clean():
+    problems = check_telemetry_names.check_tree()
+    assert problems == [], "\n".join(problems)
+
+
+def test_lint_catches_bad_metric_name(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("registry.counter('fetch_total')\n")
+    problems = check_telemetry_names.check_file(bad)
+    assert len(problems) == 1 and "snake_case" in problems[0]
+
+
+def test_lint_catches_wall_clock(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nstart = time.perf_counter()\n")
+    problems = check_telemetry_names.check_file(bad)
+    assert len(problems) == 1 and "simulated Clock" in problems[0]
+
+
+def test_lint_accepts_clean_module(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(
+        "registry.counter('repro_fetch_total')\n"
+        "with registry.trace('repro_x_seconds', clock):\n"
+        "    pass\n"
+    )
+    assert check_telemetry_names.check_file(good) == []

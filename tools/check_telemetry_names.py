@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Telemetry lint: metric-name hygiene + simulated-clock determinism.
+
+Statically checks every module under ``src/repro``:
+
+1. **Metric names.**  Every string literal passed as the name to a
+   ``counter(...)`` / ``gauge(...)`` / ``histogram(...)`` / ``trace(...)``
+   call must be ``snake_case`` and carry the ``repro_`` prefix — the same
+   rule :class:`repro.telemetry.MetricsRegistry` enforces at runtime, but
+   caught at review time and for code paths tests never execute.
+
+2. **Determinism.**  No module may call ``time.time()``,
+   ``time.perf_counter()``, or ``time.monotonic()``: all durations must
+   come from the simulated :class:`repro.simtime.Clock`, otherwise two
+   identical runs would render different telemetry.  (Benchmarks and
+   tests may use wall clocks; this lint only covers ``src/repro``.)
+
+Run directly (``python tools/check_telemetry_names.py``, exit 1 on
+problems) or via the tier-1 test ``tests/test_telemetry_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^repro_[a-z0-9]+(_[a-z0-9]+)*$")
+METRIC_FACTORIES = {"counter", "gauge", "histogram", "trace"}
+WALL_CLOCK_CALLS = {"time", "perf_counter", "monotonic", "monotonic_ns",
+                    "perf_counter_ns", "time_ns"}
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """The attribute or bare name being called, if any."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_time_module_call(node: ast.Call) -> bool:
+    """True for ``time.time()``-style calls on the stdlib time module."""
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr in WALL_CLOCK_CALLS
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    )
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    problems: list[str] = []
+    try:
+        rel = path.relative_to(REPO_ROOT)
+    except ValueError:
+        rel = path
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name in METRIC_FACTORIES and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                metric_name = first.value
+                if not METRIC_NAME_RE.match(metric_name):
+                    problems.append(
+                        f"{rel}:{node.lineno}: metric name {metric_name!r} "
+                        "must be snake_case with the 'repro_' prefix"
+                    )
+        if _is_time_module_call(node):
+            problems.append(
+                f"{rel}:{node.lineno}: wall-clock call "
+                f"time.{node.func.attr}() — use the simulated Clock "
+                "(repro.simtime) so telemetry stays deterministic"
+            )
+    return problems
+
+
+def check_tree(root: pathlib.Path = SRC_ROOT) -> list[str]:
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        problems.extend(check_file(path))
+    return problems
+
+
+def main() -> int:
+    problems = check_tree()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} telemetry lint problem(s)", file=sys.stderr)
+        return 1
+    print("telemetry lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
