@@ -59,11 +59,18 @@ from .monitor import (
     ChurnConfig,
     ChurnEngine,
     DetectionExperiment,
+    StallConfig,
+    StallDetector,
     analyze,
     diff_snapshots,
     take_snapshot,
 )
 from .repository import (
+    PERSISTENT,
+    BreakerPolicy,
+    BreakerState,
+    CacheFreshness,
+    CircuitBreaker,
     FaultInjector,
     FaultKind,
     Fetcher,
@@ -72,6 +79,8 @@ from .repository import (
     LocalCache,
     RepositoryRegistry,
     RepositoryServer,
+    ResilienceConfig,
+    RetryPolicy,
     RsyncUri,
     always_reachable,
 )
@@ -102,7 +111,7 @@ from .telemetry import (
     trace,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -119,8 +128,11 @@ __all__ = [
     "CertificateAuthority", "ResourceCertificate", "Roa",
     # repositories & delivery
     "FaultInjector", "FaultKind", "FetchResult", "FetchStatus", "Fetcher",
-    "LocalCache", "RepositoryRegistry", "RepositoryServer", "RsyncUri",
-    "always_reachable",
+    "LocalCache", "PERSISTENT", "RepositoryRegistry", "RepositoryServer",
+    "RsyncUri", "always_reachable",
+    # delivery resilience (retry/backoff, breakers, stale-cache grace)
+    "BreakerPolicy", "BreakerState", "CacheFreshness", "CircuitBreaker",
+    "ResilienceConfig", "RetryPolicy",
     # relying party
     "PathValidator", "RefreshReport", "RelyingParty", "Route",
     "RouteValidity", "SuspendersRelyingParty", "VRP", "ValidationRun",
@@ -135,8 +147,8 @@ __all__ = [
     "execute_whack", "missing_roa_impact", "plan_whack", "validity_matrix",
     "whack_blast_radius",
     # monitoring
-    "ChurnConfig", "ChurnEngine", "DetectionExperiment", "analyze",
-    "diff_snapshots", "take_snapshot",
+    "ChurnConfig", "ChurnEngine", "DetectionExperiment", "StallConfig",
+    "StallDetector", "analyze", "diff_snapshots", "take_snapshot",
     # jurisdiction
     "cross_border_audit", "render_table4",
 ]

@@ -11,6 +11,7 @@ from .churn import ChurnConfig, ChurnEngine, ChurnEvent
 from .diff import CertChange, RoaChange, SnapshotDiff, diff_snapshots
 from .experiment import DetectionExperiment, DetectionScore, EpochAlerts
 from .snapshot import ObjectRecord, RpkiSnapshot, take_snapshot
+from .stall import StallConfig, StallDetector
 
 __all__ = [
     "Alert",
@@ -26,6 +27,8 @@ __all__ = [
     "RoaChange",
     "RpkiSnapshot",
     "SnapshotDiff",
+    "StallConfig",
+    "StallDetector",
     "analyze",
     "diff_snapshots",
     "take_snapshot",

@@ -18,6 +18,11 @@ alert                      signature
                            make-before-break fingerprint (Figure 3).
 ``RENEWAL``                a ROA replaced by one with identical payload —
                            benign churn, reported at INFO level.
+``SUSTAINED_STALL``        a publication point degraded (timeouts, stalls,
+                           breaker-open) for N consecutive refresh epochs —
+                           the Stalloris availability-attack fingerprint,
+                           raised by :class:`repro.monitor.stall.StallDetector`
+                           rather than by :func:`analyze`.
 =========================  ====================================================
 
 "Distinguishing between abusive behavior and normal RPKI churn could be
@@ -44,6 +49,7 @@ class AlertKind(enum.Enum):
     RC_SHRUNK = "rc-shrunk"
     SUSPICIOUS_REISSUE = "suspicious-reissue"
     RENEWAL = "renewal"
+    SUSTAINED_STALL = "sustained-stall"
 
 
 _SEVERITY = {
@@ -52,6 +58,7 @@ _SEVERITY = {
     AlertKind.RC_SHRUNK: "warning",
     AlertKind.SUSPICIOUS_REISSUE: "critical",
     AlertKind.RENEWAL: "info",
+    AlertKind.SUSTAINED_STALL: "critical",
 }
 
 
@@ -74,6 +81,7 @@ class Alert:
             AlertKind.STEALTHY_DELETION,
             AlertKind.RC_SHRUNK,
             AlertKind.SUSPICIOUS_REISSUE,
+            AlertKind.SUSTAINED_STALL,
         )
 
     def __str__(self) -> str:

@@ -6,10 +6,17 @@ data plane and an explicit fault model.  This is the layer where the
 paper's Section 6 circularity physically lives.
 """
 
-from .cache import CachedPoint, LocalCache
+from .cache import CachedPoint, CacheFreshness, LocalCache
 from .errors import MountError, RepositoryError, UnknownHostError, UriError
-from .faults import Fault, FaultInjector, FaultKind
+from .faults import PERSISTENT, Fault, FaultInjector, FaultKind
 from .fetch import FetchResult, FetchStatus, Fetcher, always_reachable
+from .resilience import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from .server import (
     HostLocator,
     HostedPublicationPoint,
@@ -19,7 +26,12 @@ from .server import (
 from .uri import RsyncUri
 
 __all__ = [
+    "PERSISTENT",
+    "BreakerPolicy",
+    "BreakerState",
+    "CacheFreshness",
     "CachedPoint",
+    "CircuitBreaker",
     "Fault",
     "FaultInjector",
     "FaultKind",
@@ -33,6 +45,8 @@ __all__ = [
     "RepositoryError",
     "RepositoryRegistry",
     "RepositoryServer",
+    "ResilienceConfig",
+    "RetryPolicy",
     "RsyncUri",
     "UnknownHostError",
     "UriError",

@@ -11,16 +11,33 @@ A policy knob controls what a failed refresh does to previously cached
 data.  ``keep_stale=True`` (the default, matching deployed relying-party
 software) retains the last good copy; ``False`` models an RP that drops
 state it cannot re-validate — the brittle end of the paper's tradeoff.
+
+The *grace window* (``stale_grace``) bounds how long a kept-stale copy
+keeps being served: within the window a point is classified
+:data:`CacheFreshness.STALE` and still feeds the validator (the fallback
+that defeats a short outage); beyond it the point is
+:data:`CacheFreshness.EXPIRED` and is withheld — the observable moment a
+Stalloris-style sustained stall finally downgrades routes to *unknown*.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 
 from ..telemetry import MetricsRegistry, default_registry
 from .fetch import FetchResult, FetchStatus
 
-__all__ = ["CachedPoint", "LocalCache"]
+__all__ = ["CacheFreshness", "CachedPoint", "LocalCache"]
+
+
+class CacheFreshness(enum.Enum):
+    """How trustworthy the cache's copy of one point currently is."""
+
+    FRESH = "fresh"      # the newest fetch attempt succeeded
+    STALE = "stale"      # newest attempt failed; last good copy within grace
+    EXPIRED = "expired"  # last good copy older than the grace window
+    NEVER = "never"      # no successful fetch yet — nothing to serve
 
 
 @dataclass
@@ -38,17 +55,37 @@ class CachedPoint:
         """True if the newest attempt did not succeed."""
         return self.last_attempt != self.last_success
 
+    def freshness(self, now: int, grace: int | None = None) -> CacheFreshness:
+        """Classify this entry at *now* under a grace window (None = ∞)."""
+        if self.last_success < 0:
+            return CacheFreshness.NEVER
+        if not self.stale:
+            return CacheFreshness.FRESH
+        if grace is None or now - self.last_success <= grace:
+            return CacheFreshness.STALE
+        return CacheFreshness.EXPIRED
+
 
 class LocalCache:
-    """Per-relying-party storage of fetched publication points."""
+    """Per-relying-party storage of fetched publication points.
+
+    *stale_grace* is the grace window in simulated seconds: how long
+    after its last successful fetch a stale point keeps being served by
+    :meth:`all_files`.  ``None`` (the default) serves stale copies
+    forever, the pre-grace behavior.
+    """
 
     def __init__(
         self,
         *,
         keep_stale: bool = True,
+        stale_grace: int | None = None,
         metrics: MetricsRegistry | None = None,
     ):
+        if stale_grace is not None and stale_grace < 0:
+            raise ValueError(f"bad grace window {stale_grace}")
         self.keep_stale = keep_stale
+        self.stale_grace = stale_grace
         self._points: dict[str, CachedPoint] = {}
         self.metrics = metrics if metrics is not None else default_registry()
         self._m_updates = self.metrics.counter(
@@ -58,6 +95,14 @@ class LocalCache:
         )
         self._m_points = self.metrics.gauge(
             "repro_cache_points", help="publication points currently cached"
+        )
+        self._m_stale_serves = self.metrics.counter(
+            "repro_cache_stale_serves_total",
+            help="stale points served to the validator within the grace window",
+        )
+        self._m_expired = self.metrics.counter(
+            "repro_cache_expired_drops_total",
+            help="points withheld from the validator: grace window exceeded",
         )
 
     def update(self, result: FetchResult) -> CachedPoint:
@@ -85,18 +130,36 @@ class LocalCache:
     def points(self) -> list[CachedPoint]:
         return [self._points[uri] for uri in sorted(self._points)]
 
-    def all_files(self) -> dict[str, dict[str, bytes]]:
-        """Everything cached, keyed by point URI then file name.
+    def classify(self, now: int) -> dict[str, CacheFreshness]:
+        """Freshness of every cached point at *now*, sorted by URI."""
+        return {
+            uri: self._points[uri].freshness(now, self.stale_grace)
+            for uri in sorted(self._points)
+        }
+
+    def all_files(self, now: int | None = None) -> dict[str, dict[str, bytes]]:
+        """Everything servable, keyed by point URI then file name.
 
         Points that have *never* been fetched successfully are omitted —
         to the validator they are missing, not empty, which matters for
-        the paper's missing-information analysis.
+        the paper's missing-information analysis.  When *now* is given,
+        the grace window is enforced: stale-but-in-grace points are
+        served (and counted as stale serves), expired points withheld.
+        ``now=None`` keeps the legacy serve-everything behavior.
         """
-        return {
-            uri: dict(entry.files)
-            for uri, entry in self._points.items()
-            if entry.last_success >= 0
-        }
+        served: dict[str, dict[str, bytes]] = {}
+        for uri, entry in self._points.items():
+            if entry.last_success < 0:
+                continue
+            if now is not None:
+                freshness = entry.freshness(now, self.stale_grace)
+                if freshness is CacheFreshness.EXPIRED:
+                    self._m_expired.inc()
+                    continue
+                if freshness is CacheFreshness.STALE:
+                    self._m_stale_serves.inc()
+            served[uri] = dict(entry.files)
+        return served
 
     def forget(self, uri: str) -> None:
         """Drop a point from the cache entirely."""

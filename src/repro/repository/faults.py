@@ -7,9 +7,18 @@ corrupted; etc."  This module is that variety of reasons, made explicit
 and deterministic:
 
 - targeted one-shot faults ("corrupt the next fetch of this file"), the
-  trigger of the Section 6 transient-to-persistent scenario; and
+  trigger of the Section 6 transient-to-persistent scenario;
 - seeded background fault rates, for the monitor's churn-vs-attack
-  detectability experiments.
+  detectability experiments; and
+- *timing* faults (:data:`FaultKind.DELAY`, :data:`FaultKind.STALL`,
+  :data:`FaultKind.FLAKY`) that model the Stalloris-style availability
+  attacks the resilience layer defends against: a publication point that
+  answers slowly, hangs past any deadline, or fails a seeded fraction of
+  attempts.
+
+Schedule a fault with ``count=PERSISTENT`` to keep it firing forever —
+how a deliberately stalling authority is modeled, as opposed to the
+transient default of ``count=1``.
 """
 
 from __future__ import annotations
@@ -18,7 +27,11 @@ import enum
 import random
 from dataclasses import dataclass, field
 
-__all__ = ["FaultKind", "Fault", "FaultInjector"]
+__all__ = ["PERSISTENT", "FaultKind", "Fault", "FaultInjector"]
+
+# Sentinel count for schedule(): the fault never exhausts (a deliberately
+# misbehaving authority rather than a transient error).
+PERSISTENT = -1
 
 
 class FaultKind(enum.Enum):
@@ -28,25 +41,47 @@ class FaultKind(enum.Enum):
     CORRUPT = "corrupt"    # random bytes flipped
     TRUNCATE = "truncate"  # tail cut off
     UNREACHABLE = "unreachable"  # the whole publication point fetch fails
+    DELAY = "delay"        # the fetch succeeds but costs simulated seconds
+    STALL = "stall"        # the fetch hangs past any deadline (Stalloris)
+    FLAKY = "flaky"        # the attempt fails with a seeded probability
+
+
+# Kinds that apply to a whole publication-point attempt, not to one file.
+POINT_KINDS = frozenset({
+    FaultKind.UNREACHABLE, FaultKind.DELAY, FaultKind.STALL, FaultKind.FLAKY,
+})
 
 
 @dataclass
 class Fault:
-    """A scheduled fault: applies to *remaining* further matching fetches."""
+    """A scheduled fault: applies to *remaining* further matching fetches.
+
+    ``remaining < 0`` (see :data:`PERSISTENT`) never exhausts.
+    *delay_seconds* is the cost of a :data:`FaultKind.DELAY`;
+    *fail_rate* the per-attempt failure probability of a
+    :data:`FaultKind.FLAKY` (1.0 = every attempt).
+    """
 
     kind: FaultKind
     uri_prefix: str          # matches any file URI starting with this
     remaining: int = 1       # one-shot by default (a *transient* error)
     file_name: str | None = None  # restrict to one file, else whole point
+    delay_seconds: int = 0
+    fail_rate: float = 1.0
 
     def matches(self, point_uri: str, file_name: str | None) -> bool:
-        if self.remaining <= 0:
+        if self.remaining == 0:
             return False
         if not point_uri.startswith(self.uri_prefix):
             return False
         if self.file_name is not None and file_name != self.file_name:
             return False
         return True
+
+    def consume(self) -> None:
+        """Use up one occurrence (persistent faults never run out)."""
+        if self.remaining > 0:
+            self.remaining -= 1
 
 
 @dataclass
@@ -55,7 +90,10 @@ class FaultInjector:
 
     *background_rate* applies :class:`FaultKind.DROP` independently to
     each fetched file with the given probability, from a seeded stream —
-    the "error-prone Internet" baseline.  Scheduled faults are exact.
+    the "error-prone Internet" baseline.  Scheduled faults are exact;
+    :data:`FaultKind.FLAKY` draws from the same seeded stream, so the
+    whole fault sequence is a pure function of the seed and the fetch
+    order (``tests/repository/test_faults.py`` pins this).
     """
 
     seed: int = 0
@@ -78,10 +116,24 @@ class FaultInjector:
         *,
         file_name: str | None = None,
         count: int = 1,
+        delay_seconds: int = 0,
+        fail_rate: float = 1.0,
     ) -> Fault:
-        """Schedule *count* occurrences of *kind* against a point or file."""
+        """Schedule *count* occurrences of *kind* against a point or file.
+
+        ``count=PERSISTENT`` never exhausts.  *delay_seconds* only makes
+        sense for :data:`FaultKind.DELAY`; *fail_rate* only for
+        :data:`FaultKind.FLAKY`.
+        """
+        if kind is FaultKind.DELAY and delay_seconds < 0:
+            raise ValueError(f"bad delay {delay_seconds}")
+        if not 0.0 <= fail_rate <= 1.0:
+            raise ValueError(f"bad fail rate {fail_rate}")
+        if kind in POINT_KINDS and file_name is not None:
+            raise ValueError(f"{kind.value} faults apply to whole points")
         fault = Fault(kind=kind, uri_prefix=point_uri, remaining=count,
-                      file_name=file_name)
+                      file_name=file_name, delay_seconds=delay_seconds,
+                      fail_rate=fail_rate)
         self._faults.append(fault)
         return fault
 
@@ -91,11 +143,42 @@ class FaultInjector:
 
     # -- application (called by the fetcher) ------------------------------------
 
+    def point_delay(self, point_uri: str) -> int | None:
+        """Consume a timing fault due for this point, for one attempt.
+
+        Returns the extra simulated seconds the attempt costs (``0`` when
+        no timing fault is due), or ``None`` for a :data:`FaultKind.STALL`
+        — the attempt hangs past *any* deadline the fetcher sets.
+        """
+        for fault in self._faults:
+            if fault.kind not in (FaultKind.DELAY, FaultKind.STALL):
+                continue
+            if fault.matches(point_uri, None):
+                fault.consume()
+                self.applied.append((point_uri, "", fault.kind))
+                if fault.kind is FaultKind.STALL:
+                    return None
+                return fault.delay_seconds
+        return 0
+
+    def attempt_fails(self, point_uri: str) -> bool:
+        """Consume a FLAKY fault for one attempt; seeded coin flip."""
+        for fault in self._faults:
+            if fault.kind is not FaultKind.FLAKY:
+                continue
+            if fault.matches(point_uri, None):
+                fault.consume()
+                if self._rng.random() < fault.fail_rate:
+                    self.applied.append((point_uri, "", fault.kind))
+                    return True
+                return False
+        return False
+
     def point_unreachable(self, point_uri: str) -> bool:
         """Consume an UNREACHABLE fault for this point, if one is due."""
         for fault in self._faults:
             if fault.kind is FaultKind.UNREACHABLE and fault.matches(point_uri, None):
-                fault.remaining -= 1
+                fault.consume()
                 self.applied.append((point_uri, "", fault.kind))
                 return True
         return False
@@ -109,10 +192,10 @@ class FaultInjector:
         dropped from the fetch entirely.
         """
         for fault in self._faults:
-            if fault.kind is FaultKind.UNREACHABLE:
+            if fault.kind in POINT_KINDS:
                 continue
             if fault.matches(point_uri, file_name):
-                fault.remaining -= 1
+                fault.consume()
                 self.applied.append((point_uri, file_name, fault.kind))
                 return self._apply(fault.kind, data)
         if self.background_rate and self._rng.random() < self.background_rate:

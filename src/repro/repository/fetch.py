@@ -7,6 +7,15 @@ over which they are delivered — is modeled here by one injected
 dependency: a *reachability predicate* that the routing layer provides.
 If the relying party currently has no usable route to a repository
 server's address, the fetch fails, exactly as a TCP connection would.
+
+Delivery can also be *slow*, not just absent: timing faults
+(:data:`~repro.repository.faults.FaultKind.DELAY` /
+:data:`~repro.repository.faults.FaultKind.STALL`) cost simulated seconds,
+bounded by the fetcher's per-attempt deadline.  An unprotected fetcher
+waits out its (long) default timeout every time — the Stalloris failure
+mode — while a fetcher given a :class:`~repro.repository.resilience.ResilienceConfig`
+retries with capped, deterministically jittered backoff and trips a
+per-host circuit breaker so a misbehaving authority's cost is bounded.
 """
 
 from __future__ import annotations
@@ -15,16 +24,22 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..simtime import Clock
+from ..simtime import HOUR, Clock
 from ..telemetry import MetricsRegistry, default_registry
 from .errors import UnknownHostError
 from .faults import FaultInjector
+from .resilience import CircuitBreaker, ResilienceConfig
 from .server import HostLocator, RepositoryRegistry
 from .uri import RsyncUri
 
 __all__ = ["FetchStatus", "FetchResult", "Fetcher", "always_reachable"]
 
 ReachabilityPredicate = Callable[[HostLocator], bool]
+
+# How long an unprotected fetcher waits on a stalled publication point
+# before giving up — the rsync-client-style "very patient" default whose
+# cost the resilience layer exists to avoid paying.
+DEFAULT_ATTEMPT_TIMEOUT = HOUR
 
 
 def always_reachable(_locator: HostLocator) -> bool:
@@ -33,20 +48,40 @@ def always_reachable(_locator: HostLocator) -> bool:
 
 
 class FetchStatus(enum.Enum):
+    """How one publication-point fetch ended."""
+
     OK = "ok"
     UNREACHABLE = "unreachable"  # no route to the repository host
     UNKNOWN_HOST = "unknown-host"
     FAULTED = "faulted"          # server reached but the fetch failed
+    TIMEOUT = "timeout"          # attempt exceeded its deadline (delay/stall)
+    BREAKER_OPEN = "breaker-open"  # host skipped: circuit breaker is open
+
+
+# Statuses worth a retry within one fetch_point call.  UNKNOWN_HOST is
+# permanent for the duration of a refresh; BREAKER_OPEN is the retry
+# mechanism itself saying stop.
+RETRYABLE = frozenset({
+    FetchStatus.UNREACHABLE, FetchStatus.FAULTED, FetchStatus.TIMEOUT,
+})
 
 
 @dataclass
 class FetchResult:
-    """Outcome of syncing one publication point."""
+    """Outcome of syncing one publication point.
+
+    *attempts* counts tries within this one call (1 without a resilience
+    config; 0 when the circuit breaker short-circuited before any try).
+    *elapsed* is the simulated seconds the whole call cost, backoff
+    included.
+    """
 
     uri: str
     status: FetchStatus
     files: dict[str, bytes] = field(default_factory=dict)
     fetched_at: int = 0
+    attempts: int = 1
+    elapsed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -54,18 +89,30 @@ class FetchResult:
 
 
 class Fetcher:
-    """Fetches publication points subject to routing and faults.
+    """Fetches publication points subject to routing, faults, and time.
 
     Parameters
     ----------
     registry:
         The global name → server mapping.
     clock:
-        Simulated time source (stamps results for cache staleness).
+        Simulated time source.  Stamps results for cache staleness and is
+        *advanced* by timing faults, backoff waits, and deadline misses —
+        fetch cost is simulated time, which is what the resilience
+        benchmark measures.
     reachability:
         Predicate the routing layer provides; default ignores routing.
     faults:
         Optional fault injector applied to everything fetched.
+    attempt_timeout:
+        Deadline in simulated seconds for a single attempt when *no*
+        resilience config is given (default: one hour — the unprotected
+        RP that waits out a stalling authority).
+    resilience:
+        Optional :class:`~repro.repository.resilience.ResilienceConfig`;
+        enables the retry/backoff loop and the per-host circuit breakers
+        (exposed as :attr:`breakers`), and replaces *attempt_timeout*
+        with the policy's per-attempt deadline.
     metrics:
         Telemetry registry for fetch counters (None → the process-global
         default registry).
@@ -78,12 +125,19 @@ class Fetcher:
         *,
         reachability: ReachabilityPredicate = always_reachable,
         faults: FaultInjector | None = None,
+        attempt_timeout: int = DEFAULT_ATTEMPT_TIMEOUT,
+        resilience: ResilienceConfig | None = None,
         metrics: MetricsRegistry | None = None,
     ):
+        if attempt_timeout < 1:
+            raise ValueError(f"bad attempt timeout {attempt_timeout}")
         self._registry = registry
         self._clock = clock
         self.reachability = reachability
         self.faults = faults
+        self.attempt_timeout = attempt_timeout
+        self.resilience = resilience
+        self.breakers: dict[str, CircuitBreaker] = {}
         self.fetch_log: list[FetchResult] = []
         self.metrics = metrics if metrics is not None else default_registry()
         self._m_fetches = self.metrics.counter(
@@ -97,36 +151,112 @@ class Fetcher:
         self._m_objects = self.metrics.counter(
             "repro_fetch_objects_total", help="files delivered by successful fetches"
         )
+        self._m_retries = self.metrics.counter(
+            "repro_fetch_retries_total",
+            help="retry attempts after a retryable fetch failure",
+        )
+        self._m_deadline_misses = self.metrics.counter(
+            "repro_fetch_deadline_misses_total",
+            help="attempts that exceeded their deadline (delayed or stalled)",
+        )
+        self._m_breaker_skips = self.metrics.counter(
+            "repro_fetch_breaker_skips_total",
+            help="fetches short-circuited because the host's breaker was open",
+        )
+        self._m_breaker_transitions = self.metrics.counter(
+            "repro_breaker_transitions_total",
+            help="circuit-breaker state transitions, by state entered",
+            labelnames=("state",),
+        )
 
     @property
     def clock(self) -> Clock:
         """The simulated clock stamping this fetcher's results."""
         return self._clock
 
+    def breaker_for(self, host: str) -> CircuitBreaker | None:
+        """The host's circuit breaker (None without a resilience config)."""
+        if self.resilience is None:
+            return None
+        breaker = self.breakers.get(host)
+        if breaker is None:
+            breaker = self.breakers[host] = CircuitBreaker(
+                host, self.resilience.breaker
+            )
+        return breaker
+
     def fetch_point(self, uri: str | RsyncUri) -> FetchResult:
         """Sync one publication point directory.
 
         Never raises for delivery problems — failure is data here (the
         relying party must decide what missing information *means*, which
-        is the paper's Section 4).
+        is the paper's Section 4).  With a resilience config this is the
+        whole retry loop: attempt, back off, re-attempt, up to the retry
+        cap or until the host's circuit breaker opens.
         """
         parsed = uri if isinstance(uri, RsyncUri) else RsyncUri.parse(uri)
         uri_text = str(parsed)
-        now = self._clock.now
+        policy = self.resilience
+        breaker = self.breaker_for(parsed.host)
+        deadline = (
+            policy.retry.attempt_deadline if policy else self.attempt_timeout
+        )
+        max_attempts = policy.retry.max_attempts if policy else 1
+        start = self._clock.now
+        attempts = 0
+        while True:
+            if breaker is not None:
+                allowed, transition = breaker.allow(self._clock.now)
+                if transition is not None:
+                    self._m_breaker_transitions.inc(state=transition.value)
+                if not allowed:
+                    self._m_breaker_skips.inc()
+                    return self._log(FetchResult(
+                        uri_text, FetchStatus.BREAKER_OPEN,
+                        fetched_at=self._clock.now, attempts=attempts,
+                        elapsed=self._clock.now - start,
+                    ))
+            attempts += 1
+            status, files = self._attempt(parsed, uri_text, deadline)
+            if breaker is not None:
+                transition = breaker.record(
+                    status is FetchStatus.OK, self._clock.now
+                )
+                if transition is not None:
+                    self._m_breaker_transitions.inc(state=transition.value)
+            if status not in RETRYABLE or attempts >= max_attempts:
+                return self._log(FetchResult(
+                    uri_text, status, files, fetched_at=self._clock.now,
+                    attempts=attempts, elapsed=self._clock.now - start,
+                ))
+            self._m_retries.inc()
+            self._clock.advance(policy.retry.backoff(attempts, salt=uri_text))
 
+    def _attempt(
+        self, parsed: RsyncUri, uri_text: str, deadline: int
+    ) -> tuple[FetchStatus, dict[str, bytes]]:
+        """One try at the publication point, bounded by *deadline*."""
         try:
             point = self._registry.resolve(parsed)
         except UnknownHostError:
-            return self._log(FetchResult(uri_text, FetchStatus.UNKNOWN_HOST,
-                                         fetched_at=now))
+            return FetchStatus.UNKNOWN_HOST, {}
 
         if not self.reachability(point.server.locator):
-            return self._log(FetchResult(uri_text, FetchStatus.UNREACHABLE,
-                                         fetched_at=now))
+            return FetchStatus.UNREACHABLE, {}
 
-        if self.faults is not None and self.faults.point_unreachable(uri_text):
-            return self._log(FetchResult(uri_text, FetchStatus.FAULTED,
-                                         fetched_at=now))
+        if self.faults is not None:
+            delay = self.faults.point_delay(uri_text)
+            if delay is None or delay > deadline:
+                # Stalled or too slow: the attempt burns its whole deadline.
+                self._clock.advance(deadline)
+                self._m_deadline_misses.inc()
+                return FetchStatus.TIMEOUT, {}
+            if delay:
+                self._clock.advance(delay)
+            if self.faults.attempt_fails(uri_text):
+                return FetchStatus.FAULTED, {}
+            if self.faults.point_unreachable(uri_text):
+                return FetchStatus.FAULTED, {}
 
         files: dict[str, bytes] = {}
         for name in point.names():
@@ -138,7 +268,7 @@ class Fetcher:
                     continue  # dropped
                 data = filtered
             files[name] = data
-        return self._log(FetchResult(uri_text, FetchStatus.OK, files, now))
+        return FetchStatus.OK, files
 
     def _log(self, result: FetchResult) -> FetchResult:
         self.fetch_log.append(result)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..repository.cache import LocalCache
+from ..repository.cache import CacheFreshness, LocalCache
 from ..repository.fetch import Fetcher, FetchResult
 from ..repository.uri import RsyncUri
 from ..rpki.cert import ResourceCertificate
@@ -38,10 +38,30 @@ class RefreshReport:
     run: ValidationRun
     fetches: list[FetchResult] = field(default_factory=list)
     rounds: int = 0
+    budget_exhausted: bool = False
+    skipped: list[str] = field(default_factory=list)
+    freshness: dict[str, CacheFreshness] = field(default_factory=dict)
 
     @property
     def vrps(self) -> VrpSet:
         return self.run.vrps
+
+    @property
+    def elapsed(self) -> int:
+        """Simulated seconds this refresh spent fetching (incl. backoff)."""
+        return sum(result.elapsed for result in self.fetches)
+
+    @property
+    def stale_points(self) -> list[str]:
+        """Points served from stale cache (grace window) this cycle."""
+        return [uri for uri, f in self.freshness.items()
+                if f is CacheFreshness.STALE]
+
+    @property
+    def expired_points(self) -> list[str]:
+        """Points withheld from validation: stale beyond the grace window."""
+        return [uri for uri, f in self.freshness.items()
+                if f is CacheFreshness.EXPIRED]
 
 
 class RelyingParty:
@@ -59,6 +79,16 @@ class RelyingParty:
         which is almost always what a call site wants.
     keep_stale:
         Cache policy on failed refresh (see :class:`LocalCache`).
+    stale_grace:
+        Grace window in simulated seconds for serving stale cache entries
+        (see :class:`LocalCache`); ``None`` serves stale copies forever.
+    fetch_budget:
+        Cap in simulated seconds on fetching per refresh cycle.  Checked
+        between fetches (a single stalled fetch can still overshoot by
+        one attempt's worth), so pair it with a resilient fetcher whose
+        per-attempt deadline is small.  Once exhausted, remaining points
+        are skipped and validation falls back to the cache — the
+        stale-serve path.  ``None`` (default) never stops fetching.
     strict_manifests:
         Validator policy on manifest trouble (see :class:`PathValidator`).
     metrics:
@@ -74,12 +104,18 @@ class RelyingParty:
         clock: Clock | None = None,
         *,
         keep_stale: bool = True,
+        stale_grace: int | None = None,
+        fetch_budget: int | None = None,
         strict_manifests: bool = False,
         metrics: MetricsRegistry | None = None,
     ):
+        if fetch_budget is not None and fetch_budget < 1:
+            raise ValueError(f"bad fetch budget {fetch_budget}")
         self.fetcher = fetcher
+        self.fetch_budget = fetch_budget
         self.metrics = metrics if metrics is not None else default_registry()
-        self.cache = LocalCache(keep_stale=keep_stale, metrics=self.metrics)
+        self.cache = LocalCache(keep_stale=keep_stale, stale_grace=stale_grace,
+                                metrics=self.metrics)
         self.validator = PathValidator(
             trust_anchors, strict_manifests=strict_manifests,
             metrics=self.metrics,
@@ -101,6 +137,11 @@ class RelyingParty:
             help="RFC 6811 route classifications, by resulting state",
             labelnames=("state",),
         )
+        self._m_budget_exhausted = self.metrics.counter(
+            "repro_rp_budget_exhausted_total",
+            help="refresh cycles that hit their fetch budget and fell back "
+                 "to cached data",
+        )
 
     # -- the refresh cycle ----------------------------------------------------
 
@@ -113,21 +154,41 @@ class RelyingParty:
             for anchor in self.validator.trust_anchors
         }
         run = ValidationRun()
+        start = self._clock.now
+        budget_hit = False
         with self.metrics.trace("repro_rp_refresh_seconds", self._clock):
-            while pending:
+            while pending and not budget_hit:
                 report.rounds += 1
                 for uri in sorted(pending):
+                    if (
+                        self.fetch_budget is not None
+                        and self._clock.now - start >= self.fetch_budget
+                    ):
+                        # Budget gone: stop fetching, validate what the
+                        # cache has (the stale-fallback path).
+                        budget_hit = True
+                        report.skipped = [
+                            u for u in sorted(pending) if u not in fetched
+                        ]
+                        break
                     result = self.fetcher.fetch_point(uri)
                     self.cache.update(result)
                     report.fetches.append(result)
                     fetched.add(uri)
-                run = self.validator.run(self.cache.all_files(), self._clock.now)
+                run = self.validator.run(
+                    self.cache.all_files(self._clock.now), self._clock.now
+                )
                 discovered = {
                     str(RsyncUri.parse(uri))
                     for cert in run.validated_cas
                     for uri in cert.all_publication_uris
                 }
                 pending = discovered - fetched
+        if budget_hit:
+            report.budget_exhausted = True
+            report.skipped = sorted(set(report.skipped) | (pending - fetched))
+            self._m_budget_exhausted.inc()
+        report.freshness = self.cache.classify(self._clock.now)
         report.run = run
         self._last_run = run
         self._m_refreshes.inc()

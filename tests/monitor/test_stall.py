@@ -1,0 +1,94 @@
+"""StallDetector: sustained degradation pages, background churn does not."""
+
+import pytest
+
+from repro.monitor import StallConfig, StallDetector
+from repro.monitor.alerts import AlertKind
+from repro.monitor.stall import DEGRADED_STATUSES
+from repro.repository import FetchResult, FetchStatus
+from repro.telemetry import MetricsRegistry
+
+URI = "rsync://continental.example/repo/"
+OTHER = "rsync://sprint.example/repo/"
+
+
+def ok(uri=URI):
+    return FetchResult(uri, FetchStatus.OK, {"a.roa": b"x"})
+
+
+def bad(uri=URI, status=FetchStatus.TIMEOUT):
+    return FetchResult(uri, status)
+
+
+def make(threshold=3):
+    return StallDetector(config=StallConfig(alert_threshold=threshold),
+                         metrics=MetricsRegistry())
+
+
+def test_streak_reaches_threshold_then_pages_every_epoch():
+    detector = make(threshold=3)
+    assert detector.observe([bad()]) == []
+    assert detector.observe([bad()]) == []
+    for epoch in range(3):  # at and past the threshold: re-raised each epoch
+        alerts = detector.observe([bad()])
+        assert [a.kind for a in alerts] == [AlertKind.SUSTAINED_STALL]
+        assert alerts[0].point_uri == URI
+        assert alerts[0].is_suspicious and alerts[0].severity == "critical"
+    assert detector.stalled_points() == [URI]
+
+
+def test_success_resets_the_streak():
+    detector = make(threshold=2)
+    detector.observe([bad()])
+    detector.observe([ok()])  # recovery
+    assert detector.observe([bad()]) == []  # streak restarted at 1
+    assert detector.stalled_points() == []
+
+
+def test_benign_churn_stays_below_threshold():
+    detector = make(threshold=3)
+    # Alternating weather: a point that fails every other epoch never
+    # accumulates the consecutive streak that means "attack".
+    for epoch in range(10):
+        result = bad() if epoch % 2 else ok()
+        assert detector.observe([result]) == []
+    assert detector.stalled_points() == []
+
+
+def test_every_degraded_status_counts():
+    for status in DEGRADED_STATUSES:
+        detector = make(threshold=1)
+        alerts = detector.observe([bad(status=status)])
+        assert len(alerts) == 1, status
+
+
+def test_latest_result_per_point_wins():
+    detector = make(threshold=1)
+    # A retry loop can log several results for one point in one epoch;
+    # only the final outcome counts.
+    assert detector.observe([bad(), ok()]) == []
+    assert len(detector.observe([ok(), bad()])) == 1
+
+
+def test_points_tracked_independently():
+    detector = make(threshold=2)
+    detector.observe([bad(URI), ok(OTHER)])
+    alerts = detector.observe([bad(URI), bad(OTHER)])
+    assert [a.point_uri for a in alerts] == [URI]
+    assert detector.consecutive[OTHER] == 1
+
+
+def test_metrics_and_history():
+    detector = make(threshold=1)
+    detector.observe([bad(URI), bad(OTHER)])
+    detector.observe([ok(URI), bad(OTHER)])
+    counter = detector.metrics.get("repro_monitor_alerts_total")
+    assert counter.value(kind="sustained-stall") == 3
+    gauge = detector.metrics.get("repro_monitor_stalled_points")
+    assert gauge.value() == 1
+    assert [len(epoch) for epoch in detector.history] == [2, 1]
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        StallConfig(alert_threshold=0)

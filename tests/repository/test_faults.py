@@ -1,0 +1,119 @@
+"""FaultInjector seeding and scheduling: the fault plan is a pure function.
+
+The monitor's detectability experiments and the resilience benchmark both
+lean on one property: given a seed and a fetch order, the injector
+applies *exactly* the same faults in the same order every run.  These
+tests pin that property directly on the injector, independent of the
+fetcher that normally drives it.
+"""
+
+import pytest
+
+from repro.repository import PERSISTENT, Fault, FaultInjector, FaultKind
+from repro.repository.faults import POINT_KINDS
+
+POINT = "rsync://continental.example/repo/"
+OTHER = "rsync://sprint.example/repo/"
+
+
+def drive(injector, rounds=20):
+    """A fixed fetch order: each round touches both points and two files."""
+    outcomes = []
+    for _ in range(rounds):
+        for uri in (POINT, OTHER):
+            outcomes.append(("delay", uri, injector.point_delay(uri)))
+            outcomes.append(("flaky", uri, injector.attempt_fails(uri)))
+            outcomes.append(("unreach", uri, injector.point_unreachable(uri)))
+            for name in ("a.roa", "b.roa"):
+                outcomes.append(
+                    ("file", uri, injector.filter_file(uri, name, b"payload"))
+                )
+    return outcomes
+
+
+def build(seed):
+    injector = FaultInjector(seed=seed, background_rate=0.3)
+    injector.schedule(FaultKind.FLAKY, POINT, count=PERSISTENT, fail_rate=0.5)
+    injector.schedule(FaultKind.DELAY, OTHER, count=3, delay_seconds=7)
+    injector.schedule(FaultKind.CORRUPT, POINT, file_name="a.roa", count=2)
+    return injector
+
+
+class TestSeedDeterminism:
+    def test_same_seed_identical_fault_sequence(self):
+        """Same seed => identical applied sequence AND identical outcomes."""
+        first, second = build(seed=42), build(seed=42)
+        assert drive(first) == drive(second)
+        assert first.applied == second.applied
+        assert first.applied  # the scenario actually exercised faults
+
+    def test_different_seed_diverges(self):
+        # 20 rounds of 50%-flaky plus 30% background drops: the chance
+        # two different seeds produce identical streams is negligible.
+        assert drive(build(seed=1)) != drive(build(seed=2))
+
+    def test_seeded_stream_independent_of_scheduling_time(self):
+        """Scheduling more exact faults does not perturb the RNG stream."""
+        plain = FaultInjector(seed=7)
+        busy = FaultInjector(seed=7)
+        busy.schedule(FaultKind.STALL, OTHER, count=PERSISTENT)
+        busy.schedule(FaultKind.DROP, OTHER, file_name="x.roa")
+        plain.schedule(FaultKind.FLAKY, POINT, count=5, fail_rate=0.5)
+        busy.schedule(FaultKind.FLAKY, POINT, count=5, fail_rate=0.5)
+        flips_plain = [plain.attempt_fails(POINT) for _ in range(5)]
+        flips_busy = [busy.attempt_fails(POINT) for _ in range(5)]
+        assert flips_plain == flips_busy
+
+
+class TestScheduling:
+    def test_counts_exhaust_exactly(self):
+        injector = FaultInjector()
+        injector.schedule(FaultKind.UNREACHABLE, POINT, count=2)
+        hits = [injector.point_unreachable(POINT) for _ in range(4)]
+        assert hits == [True, True, False, False]
+
+    def test_persistent_never_exhausts(self):
+        injector = FaultInjector()
+        injector.schedule(FaultKind.STALL, POINT, count=PERSISTENT)
+        assert all(injector.point_delay(POINT) is None for _ in range(50))
+
+    def test_delay_then_clean(self):
+        injector = FaultInjector()
+        injector.schedule(FaultKind.DELAY, POINT, count=1, delay_seconds=9)
+        assert injector.point_delay(POINT) == 9
+        assert injector.point_delay(POINT) == 0
+
+    def test_flaky_rate_zero_never_fails_but_consumes(self):
+        injector = FaultInjector(seed=3)
+        fault = injector.schedule(FaultKind.FLAKY, POINT, count=2,
+                                  fail_rate=0.0)
+        assert not injector.attempt_fails(POINT)
+        assert not injector.attempt_fails(POINT)
+        assert fault.remaining == 0
+
+    def test_point_kinds_reject_file_scoping(self):
+        injector = FaultInjector()
+        for kind in POINT_KINDS:
+            with pytest.raises(ValueError):
+                injector.schedule(kind, POINT, file_name="a.roa")
+
+    def test_validation(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError):
+            injector.schedule(FaultKind.DELAY, POINT, delay_seconds=-1)
+        with pytest.raises(ValueError):
+            injector.schedule(FaultKind.FLAKY, POINT, fail_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(background_rate=2.0)
+
+    def test_prefix_matching_scopes_faults(self):
+        fault = Fault(kind=FaultKind.STALL, uri_prefix=POINT)
+        assert fault.matches(POINT, None)
+        assert fault.matches(POINT + "sub/", None)
+        assert not fault.matches(OTHER, None)
+
+    def test_clear_cancels_scheduled_faults(self):
+        injector = FaultInjector()
+        injector.schedule(FaultKind.STALL, POINT, count=PERSISTENT)
+        injector.clear()
+        assert injector.point_delay(POINT) == 0

@@ -69,6 +69,22 @@ class TestCli:
         out = run(capsys, "monitor")
         assert "recall" in out and "precision" in out
 
+    def test_resilience(self, capsys):
+        out = run(capsys, "resilience", "--epochs", "4")
+        assert "unprotected fetcher" in out
+        assert "resilient fetcher" in out
+        assert "sustained-stall" in out
+        # The unprotected RP pays the full timeout per epoch...
+        assert "14400 (grows linearly" in out
+        # ...while the resilient one is bounded by the retry policy.
+        assert "bounded by worst-case 107 s/refresh" in out
+
+    def test_resilience_emit_metrics(self, capsys):
+        out = run(capsys, "resilience", "--epochs", "4", "--emit-metrics")
+        assert "repro_fetch_deadline_misses_total" in out
+        assert "repro_breaker_transitions_total" in out
+        assert "repro_cache_expired_drops_total" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])

@@ -1,0 +1,50 @@
+"""Tier-1 hook for the docs lint (tools/check_docs.py).
+
+Fails the suite if any module under ``src/repro`` lacks a docstring or
+any internal markdown link in docs/ (or the top-level pages) is broken.
+"""
+
+import pathlib
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_docs  # noqa: E402
+
+
+def test_every_module_has_docstring():
+    problems = check_docs.check_docstrings()
+    assert problems == [], "\n".join(problems)
+
+
+def test_every_internal_link_resolves():
+    problems = check_docs.check_links()
+    assert problems == [], "\n".join(problems)
+
+
+def test_lint_catches_missing_docstring(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "documented.py").write_text('"""Has a docstring."""\nX = 1\n')
+    (pkg / "bare.py").write_text("X = 1\n")
+    problems = check_docs.check_docstrings(pkg)
+    assert len(problems) == 1 and "bare.py" in problems[0]
+
+
+def test_lint_catches_broken_link(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "[good](real.md) [bad](missing.md) "
+        "[ext](https://example.com/x.md) [frag](#section)\n"
+    )
+    (tmp_path / "real.md").write_text("hi\n")
+    problems = check_docs.check_links_in(page)
+    assert len(problems) == 1 and "missing.md" in problems[0]
+
+
+def test_fragments_are_stripped(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("[ok](real.md#anchor)\n")
+    (tmp_path / "real.md").write_text("hi\n")
+    assert check_docs.check_links_in(page) == []

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Docs lint: module docstrings present, internal markdown links resolve.
+
+Two checks, both cheap enough to live in tier-1:
+
+1. **Docstrings.**  Every module under ``src/repro`` (packages included)
+   must open with a non-empty docstring.  The API reference in
+   ``docs/API.md`` is generated from those docstrings, so a missing one
+   is a hole in the docs site, not a style nit.
+
+2. **Links.**  Every relative markdown link in ``docs/*.md``, README.md,
+   and the other top-level markdown pages must point at a file that
+   exists (fragments stripped; ``http(s)://`` / ``mailto:`` and
+   pure-fragment ``#anchor`` links are skipped).  Docs rot silently —
+   this is the tripwire.
+
+Run directly (``python tools/check_docs.py``, exit 1 on problems) or via
+the tier-1 test ``tests/test_docs_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+DOCS_ROOT = REPO_ROOT / "docs"
+
+# Top-level pages that participate in the docs link graph.
+TOP_LEVEL_PAGES = (
+    "README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md",
+)
+
+# [text](target) — target up to the first whitespace or closing paren.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def check_docstrings(src_root: pathlib.Path = SRC_ROOT) -> list[str]:
+    """Every module under *src_root* has a non-empty docstring."""
+    problems = []
+    for path in sorted(src_root.rglob("*.py")):
+        rel = path.relative_to(src_root.parent.parent)
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:  # pragma: no cover - tier-1 would fail first
+            problems.append(f"{rel}: unparsable ({exc})")
+            continue
+        doc = ast.get_docstring(tree)
+        if not doc or not doc.strip():
+            problems.append(f"{rel}: missing module docstring")
+    return problems
+
+
+def markdown_files(repo_root: pathlib.Path = REPO_ROOT) -> list[pathlib.Path]:
+    files = sorted((repo_root / "docs").glob("*.md"))
+    for name in TOP_LEVEL_PAGES:
+        page = repo_root / name
+        if page.exists():
+            files.append(page)
+    return files
+
+
+def check_links_in(path: pathlib.Path) -> list[str]:
+    """Every relative link in one markdown file resolves to a real file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            rel = path.relative_to(REPO_ROOT) if path.is_relative_to(
+                REPO_ROOT) else path
+            problems.append(f"{rel}: broken link -> {match.group(1)}")
+    return problems
+
+
+def check_links(repo_root: pathlib.Path = REPO_ROOT) -> list[str]:
+    problems = []
+    for path in markdown_files(repo_root):
+        problems.extend(check_links_in(path))
+    return problems
+
+
+def check_all() -> list[str]:
+    return check_docstrings() + check_links()
+
+
+def main() -> int:
+    problems = check_all()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} docs problem(s)", file=sys.stderr)
+        return 1
+    print("docs lint ok: every module documented, every link resolves")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,8 +1,24 @@
 #!/usr/bin/env python3
 """Regenerate docs/API.md from the live module tree.
 
-Run from the repository root:  python tools/gen_api_docs.py
+The document has two parts:
+
+1. **The facade** — everything ``repro.__all__`` re-exports, which is
+   the stable public API (see the ``repro`` package docstring for the
+   stability promise).
+2. **The module reference** — every module under ``src/repro`` with an
+   ``__all__``, grouped by top-level package, one summary line per
+   exported item (the first docstring line).
+
+``build()`` returns the markdown text; ``main()`` writes it to
+``docs/API.md``.  The tier-1 test ``tests/test_api_docs_drift.py``
+compares ``build()`` against the committed file, so the reference can
+never silently drift from the code.
+
+Run from the repository root:  PYTHONPATH=src python tools/gen_api_docs.py
 """
+
+from __future__ import annotations
 
 import importlib
 import inspect
@@ -11,69 +27,121 @@ import pkgutil
 
 import repro
 
+DOC_PATH = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
 
-def main() -> None:
+HEADER = """\
+# API reference
+
+The public surface of `repro`, generated from the live module tree
+(`PYTHONPATH=src python tools/gen_api_docs.py` regenerates this file;
+`tests/test_api_docs_drift.py` fails when it is out of date).  Items
+listed are each module's `__all__`; see the docstrings for the full
+contracts, and [architecture.md](architecture.md) for how the layers
+fit together.
+"""
+
+
+def _kind(item: object) -> str:
+    if inspect.isclass(item):
+        return "class"
+    if callable(item):
+        return "function"
+    return "constant"
+
+
+def _summary(item: object) -> str:
+    """First docstring line — only for objects that own their docstring."""
+    if not (inspect.isclass(item) or inspect.isfunction(item)
+            or inspect.ismodule(item)):
+        return ""  # ints/strings inherit builtin docstrings; not useful
+    doc = inspect.getdoc(item) or ""
+    return doc.splitlines()[0] if doc else ""
+
+
+def _module_summary(module) -> str:
+    doc = inspect.getdoc(module) or ""
+    return doc.splitlines()[0] if doc else ""
+
+
+def _item_lines(module, exported: list[str]) -> list[str]:
+    lines = []
+    for item_name in exported:
+        item = getattr(module, item_name)
+        summary = _summary(item)
+        entry = f"- **`{item_name}`** ({_kind(item)})"
+        if summary:
+            entry += f" — {summary}"
+        lines.append(entry)
+    lines.append("")
+    return lines
+
+
+def _facade_section() -> list[str]:
     lines = [
-        "# API reference",
+        "## The facade: `repro`",
         "",
-        "The public surface of every `repro` package, generated from the live",
-        "module tree (`python tools/gen_api_docs.py` regenerates this file).",
-        "Items listed are each module's `__all__`; see the docstrings for the",
-        "full contracts.",
+        _module_summary(repro),
+        "",
+        f"Version `{repro.__version__}`.  Everything below is importable "
+        "directly from `repro` and covered by the facade stability "
+        "promise:",
         "",
     ]
+    exported = [n for n in repro.__all__ if n != "__version__"]
+    lines += _item_lines(repro, sorted(exported))
+    return lines
 
-    packages = {}
+
+def _module_reference() -> list[str]:
+    # Group every importable module by its top-level package (or itself,
+    # for single-module members like repro.cli / repro.simtime).
+    groups: dict[str, list[str]] = {}
     for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
         if info.name.endswith("__main__"):
             continue
-        module = importlib.import_module(info.name)
-        top = info.name.split(".")[1] if "." in info.name else info.name
-        packages.setdefault(top, []).append((info.name, module))
+        top = info.name.split(".")[1]
+        groups.setdefault(top, [])
+        if info.name != f"repro.{top}":
+            groups[top].append(info.name)
 
-    for top in sorted(packages):
-        head_module = importlib.import_module(f"repro.{top}")
-        doc = inspect.getdoc(head_module) or ""
-        summary = doc.splitlines()[0] if doc else ""
-        lines += [f"## `repro.{top}`", ""]
+    lines = ["## Module reference", ""]
+    for top in sorted(groups):
+        head = importlib.import_module(f"repro.{top}")
+        lines += [f"### `repro.{top}`", ""]
+        summary = _module_summary(head)
         if summary:
             lines += [summary, ""]
-        for name, module in sorted(packages[top]):
-            exported = getattr(module, "__all__", None)
-            if not exported or name == f"repro.{top}":
+        if not groups[top]:  # a single module, not a package
+            exported = list(getattr(head, "__all__", []))
+            if exported:
+                lines += _item_lines(head, exported)
+            continue
+        for name in sorted(groups[top]):
+            module = importlib.import_module(name)
+            exported = list(getattr(module, "__all__", []))
+            if not exported:
                 continue
-            module_doc = inspect.getdoc(module) or ""
-            module_summary = module_doc.splitlines()[0] if module_doc else ""
-            lines += [f"### `{name}`", ""]
+            lines += [f"#### `{name}`", ""]
+            module_summary = _module_summary(module)
             if module_summary:
                 lines += [module_summary, ""]
-            for item_name in exported:
-                item = getattr(module, item_name)
-                item_doc = inspect.getdoc(item) or ""
-                item_summary = item_doc.splitlines()[0] if item_doc else ""
-                kind = (
-                    "class" if inspect.isclass(item)
-                    else "function" if callable(item)
-                    else "constant"
-                )
-                lines.append(f"- **`{item_name}`** ({kind}) — {item_summary}")
-            lines.append("")
+            lines += _item_lines(module, exported)
+    return lines
 
-    for name in ("simtime", "cli"):
-        module = importlib.import_module(f"repro.{name}")
-        doc = inspect.getdoc(module) or ""
-        summary = doc.splitlines()[0] if doc else ""
-        lines += [f"## `repro.{name}`", "", summary, ""]
-        for item_name in getattr(module, "__all__", []):
-            item = getattr(module, item_name)
-            item_doc = inspect.getdoc(item) or ""
-            item_summary = item_doc.splitlines()[0] if item_doc else ""
-            lines.append(f"- **`{item_name}`** — {item_summary}")
-        lines.append("")
 
-    path = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
-    path.write_text("\n".join(lines), encoding="utf-8")
-    print(f"wrote {path} ({len(lines)} lines)")
+def build() -> str:
+    """The complete docs/API.md content for the current module tree."""
+    lines = [HEADER] + _facade_section() + _module_reference()
+    text = "\n".join(lines)
+    while "\n\n\n" in text:
+        text = text.replace("\n\n\n", "\n\n")
+    return text.rstrip("\n") + "\n"
+
+
+def main() -> None:
+    text = build()
+    DOC_PATH.write_text(text, encoding="utf-8")
+    print(f"wrote {DOC_PATH} ({len(text.splitlines())} lines)")
 
 
 if __name__ == "__main__":
