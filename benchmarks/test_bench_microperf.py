@@ -114,3 +114,19 @@ def test_rtr_codec_throughput(benchmark):
 
     decoded, rest = benchmark(roundtrip)
     assert len(decoded) == len(pdus) and rest == b""
+
+
+def test_vrpset_difference_2k(benchmark):
+    """Monitor-style delta of two ~2k-VRP sets (cached sorted/frozen views)."""
+    before = build_vrp_set(count=2000, seed=11)
+    after = build_vrp_set(count=2000, seed=11)
+    # Perturb ~1% so the delta is non-trivial in both directions.
+    for vrp in build_vrp_set(count=20, seed=12):
+        after.add(vrp)
+
+    def both_ways():
+        return after.difference(before), before.difference(after)
+
+    added, removed = benchmark(both_ways)
+    assert len(added) >= 1 and removed == []
+    assert added == after.added(before)

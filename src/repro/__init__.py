@@ -87,6 +87,7 @@ from .repository import (
 from .resources import ASN, Afi, Prefix, PrefixTrie, ResourceSet
 from .rp import (
     VRP,
+    IncrementalState,
     PathValidator,
     RefreshReport,
     RelyingParty,
@@ -111,7 +112,7 @@ from .telemetry import (
     trace,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -134,9 +135,9 @@ __all__ = [
     "BreakerPolicy", "BreakerState", "CacheFreshness", "CircuitBreaker",
     "ResilienceConfig", "RetryPolicy",
     # relying party
-    "PathValidator", "RefreshReport", "RelyingParty", "Route",
-    "RouteValidity", "SuspendersRelyingParty", "VRP", "ValidationRun",
-    "VrpSet", "classify",
+    "IncrementalState", "PathValidator", "RefreshReport", "RelyingParty",
+    "Route", "RouteValidity", "SuspendersRelyingParty", "VRP",
+    "ValidationRun", "VrpSet", "classify",
     # rtr
     "DuplexPipe", "RtrCacheServer", "RtrRouterClient",
     # model fixtures

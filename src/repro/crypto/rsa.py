@@ -25,6 +25,9 @@ __all__ = ["RsaPublicKey", "RsaPrivateKey", "generate_keypair"]
 # Keys are frozen dataclasses with no injection point, so signature
 # telemetry binds to the process-global registry at import time (the
 # default registry is a permanent singleton, only ever reset in place).
+# Label children are resolved per call, never cached: Metric.reset()
+# drops its children, and a child bound before the reset would keep
+# counting into an object the registry no longer reads.
 _SIGN_TOTAL = default_registry().counter(
     "repro_crypto_sign_total", help="RSA signatures produced"
 )
@@ -33,8 +36,6 @@ _VERIFY_TOTAL = default_registry().counter(
     help="RSA signature verifications, by outcome",
     labelnames=("outcome",),
 )
-_VERIFY_ACCEPTED = _VERIFY_TOTAL.labels(outcome="accepted")
-_VERIFY_REJECTED = _VERIFY_TOTAL.labels(outcome="rejected")
 _KEYGEN_TOTAL = default_registry().counter(
     "repro_crypto_keygen_total", help="RSA keypairs generated"
 )
@@ -61,6 +62,16 @@ class RsaPublicKey:
         return self.modulus.bit_length()
 
     @property
+    def cache_key(self) -> tuple[int, int]:
+        """A cheap exact fingerprint of this key, for verification memos.
+
+        Signature verification is a pure function of ``(modulus, exponent,
+        message, signature)``; the raw integers identify the key without
+        any hashing, which matters on memo-lookup hot paths.
+        """
+        return (self.modulus, self.exponent)
+
+    @property
     def modulus_bytes(self) -> int:
         return (self.modulus_bits + 7) // 8
 
@@ -71,7 +82,7 @@ class RsaPublicKey:
         so relying-party code can treat any bad signature uniformly.
         """
         ok = self._verify_raw(message, signature)
-        (_VERIFY_ACCEPTED if ok else _VERIFY_REJECTED).inc()
+        _VERIFY_TOTAL.labels(outcome="accepted" if ok else "rejected").inc()
         return ok
 
     def _verify_raw(self, message: bytes, signature: bytes) -> bool:

@@ -6,7 +6,7 @@ data plane and an explicit fault model.  This is the layer where the
 paper's Section 6 circularity physically lives.
 """
 
-from .cache import CachedPoint, CacheFreshness, LocalCache
+from .cache import CachedPoint, CacheFreshness, LocalCache, point_digest
 from .errors import MountError, RepositoryError, UnknownHostError, UriError
 from .faults import PERSISTENT, Fault, FaultInjector, FaultKind
 from .fetch import FetchResult, FetchStatus, Fetcher, always_reachable
@@ -51,4 +51,5 @@ __all__ = [
     "UnknownHostError",
     "UriError",
     "always_reachable",
+    "point_digest",
 ]

@@ -25,10 +25,28 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from ..crypto import sha256_hex
 from ..telemetry import MetricsRegistry, default_registry
 from .fetch import FetchResult, FetchStatus
 
-__all__ = ["CacheFreshness", "CachedPoint", "LocalCache"]
+__all__ = ["CacheFreshness", "CachedPoint", "LocalCache", "point_digest"]
+
+
+def point_digest(files: dict[str, bytes]) -> str:
+    """Content digest of one publication point's file set.
+
+    Hashes file names and bytes in sorted order, so the digest is equal
+    exactly when the served content is byte-for-byte equal — the
+    content-address the incremental validator keys its per-point reuse
+    on (see :mod:`repro.rp.incremental`).
+    """
+    parts: list[bytes] = []
+    for name in sorted(files):
+        data = files[name]
+        parts.append(name.encode("utf-8"))
+        parts.append(len(data).to_bytes(8, "big"))
+        parts.append(data)
+    return sha256_hex(b"\x00".join(parts))
 
 
 class CacheFreshness(enum.Enum):
@@ -49,6 +67,9 @@ class CachedPoint:
     last_attempt: int = -1
     last_success: int = -1
     last_status: FetchStatus = FetchStatus.OK
+    # Content digest of ``files``, maintained by LocalCache.update() so
+    # consumers (the incremental validator) never re-hash unchanged points.
+    content_digest: str = ""
 
     @property
     def stale(self) -> bool:
@@ -111,7 +132,10 @@ class LocalCache:
         entry.last_attempt = result.fetched_at
         entry.last_status = result.status
         if result.ok:
-            entry.files = dict(result.files)
+            new_files = dict(result.files)
+            if new_files != entry.files or not entry.content_digest:
+                entry.files = new_files
+                entry.content_digest = point_digest(new_files)
             entry.last_success = result.fetched_at
             self._m_updates.inc(effect="hit")
         elif self.keep_stale:
@@ -120,6 +144,7 @@ class LocalCache:
             self._m_updates.inc(effect="stale_keep")
         else:
             entry.files = {}
+            entry.content_digest = ""
             self._m_updates.inc(effect="evict")
         self._m_points.set(len(self._points))
         return entry
@@ -160,6 +185,29 @@ class LocalCache:
                     self._m_stale_serves.inc()
             served[uri] = dict(entry.files)
         return served
+
+    def digests(self, now: int | None = None) -> dict[str, str]:
+        """Content digest of every point :meth:`all_files` would serve.
+
+        Mirrors the serving rules (never-fetched omitted, grace window
+        enforced when *now* is given) without touching the stale/expired
+        counters, which belong to the actual serve.  The digests are
+        maintained incrementally by :meth:`update`, so this is O(points),
+        not O(bytes) — the property the incremental validator's dirty-point
+        check relies on.
+        """
+        digests: dict[str, str] = {}
+        for uri, entry in self._points.items():
+            if entry.last_success < 0:
+                continue
+            if (
+                now is not None
+                and entry.freshness(now, self.stale_grace)
+                is CacheFreshness.EXPIRED
+            ):
+                continue
+            digests[uri] = entry.content_digest
+        return digests
 
     def forget(self, uri: str) -> None:
         """Drop a point from the cache entirely."""

@@ -11,6 +11,12 @@ from .alt_semantics import (
     SubprefixDisposition,
     classify_disposition,
 )
+from .incremental import (
+    IncrementalState,
+    ParseMemo,
+    PointResult,
+    VerificationMemo,
+)
 from .lta import LocalOverrides, classify_with_overrides
 from .origin import OriginValidationOutcome, classify, explain
 from .pathval import PathValidator, Severity, ValidationIssue, ValidationRun
@@ -25,7 +31,11 @@ __all__ = [
     "LocalOverrides",
     "SubprefixDisposition",
     "classify_disposition",
+    "IncrementalState",
     "OriginValidationOutcome",
+    "ParseMemo",
+    "PointResult",
+    "VerificationMemo",
     "RetainedVrp",
     "SuspendersRelyingParty",
     "classify_with_overrides",

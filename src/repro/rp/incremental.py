@@ -1,0 +1,322 @@
+"""Incremental validation: content-addressed memos and dirty-point reuse.
+
+A relying party that keeps its cache complete (the property Side Effect 6
+of the paper turns on) must revalidate it on every refresh — and a naive
+validator pays for the *whole* repository every time: every object is
+re-parsed and every RSA signature re-checked even when not a single byte
+changed since the last epoch.  Production relying parties survive at
+deployment scale because their steady-state cost is proportional to
+*churn*, not repository size.  This module gives the reproduction the
+same property, without changing a single validation verdict:
+
+- :class:`VerificationMemo` — signature verification is a pure function
+  of ``(key, message, signature)``.  Objects are content-addressed (their
+  ``hash_hex`` covers payload *and* signature), so the verdict for
+  ``(object hash, key fingerprint)`` can be cached across rounds and
+  refreshes; a hit skips the modular exponentiation entirely.
+- :class:`ParseMemo` — parsing is a pure function of the bytes.  Cached
+  bytes that did not change parse to the same (immutable) object, so the
+  memo returns the previously built object; parse *failures* are cached
+  too (corrupt bytes stay corrupt).
+- :class:`PointResult` / :class:`IncrementalState` — the per-publication-
+  point unit of reuse.  A point's validation outcome is a pure function
+  of (issuing certificate, strictness policy, the bytes of every cached
+  copy, and which side of each time boundary ``now`` falls on).  The
+  validator stores each point's local outcome with that exact
+  fingerprint; a later run replays it verbatim when nothing it depends on
+  moved, and recomputes it (a *dirty* point) otherwise.
+
+Invalidation rules — the attack-safety contract
+-----------------------------------------------
+
+A cached point result is reused only when **all** of the following hold,
+otherwise it is discarded and the point revalidated from bytes:
+
+- ``content``: every cached copy (primary and mirrors) of the point has
+  the same content digest as when the result was computed, and the same
+  set of copies is present.  A whacked, shrunk, replaced, or newly
+  published object — and any CRL or manifest change, which live in the
+  same point — therefore always dirties the point.
+- ``issuer``: the issuing CA certificate is byte-identical.  A shrunk or
+  reissued parent dirties every point it issues for.
+- ``time``: ``now`` is on the same side of every validity boundary
+  (``not_before`` / ``not_after`` of each parseable object, including
+  embedded EE certificates; CRL and manifest ``next_update``) that the
+  original computation could have observed.  Clock movement past any
+  expiry or staleness edge dirties the point.
+- ``policy``: the manifest-strictness policy is unchanged.
+
+Because reuse replays the exact issues, certificates, ROAs, and VRPs the
+cold computation produced, an incremental run is byte-for-byte identical
+to a cold :meth:`repro.rp.PathValidator.run` on the same cache — the
+property ``tests/rp/test_incremental.py`` enforces after whacking,
+revocation, and expiry events, and ``benchmarks/test_bench_incremental.py``
+pins the zero-churn/zero-verification headline claim.
+
+Memos are bounded (``max_entries``); when a memo fills up it is cleared
+wholesale — crude, but deterministic and safe (a memo is only ever an
+optimization).  All decisions are instrumented; see docs/performance.md
+for how to read the metrics.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from ..crypto import RsaPublicKey, sha256_hex
+from ..rpki.errors import ObjectFormatError
+from ..rpki.ghostbusters import GhostbustersRecord
+from ..rpki.objects import SignedObject
+from ..rpki.parse import parse_object
+from ..rpki.roa import Roa
+from ..telemetry import MetricsRegistry, default_registry
+from .vrp import VRP
+
+__all__ = [
+    "DEFAULT_MEMO_ENTRIES",
+    "IncrementalState",
+    "ParseMemo",
+    "PointResult",
+    "VerificationMemo",
+    "time_signature",
+]
+
+# Generous for any simulated deployment; bounds long-running monitors.
+DEFAULT_MEMO_ENTRIES = 65536
+
+
+def time_signature(boundaries: tuple[int, ...], now: int) -> tuple[int, int]:
+    """Which side of every boundary *now* falls on, as two counts.
+
+    *boundaries* must be sorted.  Every time predicate the validator
+    evaluates (``not_before <= now``, ``now <= not_after``,
+    ``next_update < now``) flips only when ``now`` crosses one of the
+    collected boundary values, so two instants with the same
+    ``(how many boundaries are < now, how many are <= now)`` counts make
+    every predicate evaluate identically — the cached verdicts still
+    hold.  Works in both directions (clocks here can be rewound).
+    """
+    return (bisect_left(boundaries, now), bisect_right(boundaries, now))
+
+
+class VerificationMemo:
+    """Content-addressed cache of signature-verification verdicts.
+
+    Keyed by ``(object hash, key fingerprint)``: the object's
+    ``hash_hex`` covers its signed bytes *and* its signature, and the key
+    fingerprint is the raw ``(modulus, exponent)`` pair, so a hit is
+    exactly a re-verification of the same bytes under the same key — a
+    pure recomputation, skipped.
+    """
+
+    def __init__(self, *, max_entries: int | None = DEFAULT_MEMO_ENTRIES):
+        self._verdicts: dict[tuple[str, tuple[int, int]], bool] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    def verify_object(self, obj: SignedObject, key: RsaPublicKey) -> bool:
+        """Memoized ``obj.verify_signature(key)``."""
+        memo_key = (obj.hash_hex, key.cache_key)
+        verdict = self._verdicts.get(memo_key)
+        if verdict is not None:
+            self.hits += 1
+            return verdict
+        self.misses += 1
+        verdict = obj.verify_signature(key)
+        if self.max_entries is not None and len(self._verdicts) >= self.max_entries:
+            self._verdicts.clear()
+        self._verdicts[memo_key] = verdict
+        return verdict
+
+
+class ParseMemo:
+    """Content-addressed cache of :func:`repro.rpki.parse.parse_object`.
+
+    Parsed objects are immutable (:class:`SignedObject` freezes payload
+    access by convention and equality is by serialized bytes), so sharing
+    one instance across runs is safe.  Failures are cached as the error
+    message and re-raised as a fresh :class:`ObjectFormatError`.
+    """
+
+    def __init__(self, *, max_entries: int | None = DEFAULT_MEMO_ENTRIES):
+        self._objects: dict[str, SignedObject | str] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def parse(self, data: bytes) -> SignedObject:
+        """Memoized parse; raises :class:`ObjectFormatError` like the real one."""
+        digest = sha256_hex(data)
+        cached = self._objects.get(digest)
+        if cached is not None:
+            self.hits += 1
+            if isinstance(cached, str):
+                raise ObjectFormatError(cached)
+            return cached
+        self.misses += 1
+        if self.max_entries is not None and len(self._objects) >= self.max_entries:
+            self._objects.clear()
+        try:
+            obj = parse_object(data)
+        except ObjectFormatError as exc:
+            self._objects[digest] = str(exc)
+            raise
+        self._objects[digest] = obj
+        return obj
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One publication point's local validation outcome, replayable.
+
+    *Local* means everything the point itself contributed to the
+    :class:`~repro.rp.pathval.ValidationRun` — issues, accepted child CA
+    certificates (in file order; the caller recurses into them), ROAs and
+    their VRPs, the validated contact — but nothing from child subtrees.
+
+    ``fingerprint`` is the exact reuse key (issuer certificate hash,
+    strictness policy, per-copy content digests); ``boundaries`` and
+    ``time_sig`` encode the time-window status; ``verify_count`` is how
+    many signature checks the cold computation performed, credited to the
+    skipped-verifications counter on every reuse.
+    """
+
+    fingerprint: tuple
+    boundaries: tuple[int, ...]
+    time_sig: tuple[int, int]
+    selected_uri: str
+    issues: tuple = ()
+    children: tuple = ()
+    roas: tuple[Roa, ...] = ()
+    vrps: tuple[VRP, ...] = ()
+    contact: GhostbustersRecord | None = None
+    verify_count: int = 0
+
+
+class IncrementalState:
+    """Everything a validator carries across runs to validate incrementally.
+
+    Hand one instance to :class:`~repro.rp.PathValidator` (or let
+    :class:`~repro.rp.RelyingParty` build one with ``incremental=True``)
+    and keep it alive across refreshes; dropping it is always safe and
+    merely makes the next run cold.
+    """
+
+    def __init__(
+        self,
+        *,
+        metrics: MetricsRegistry | None = None,
+        max_entries: int | None = DEFAULT_MEMO_ENTRIES,
+    ):
+        self.verify_memo = VerificationMemo(max_entries=max_entries)
+        self.parse_memo = ParseMemo(max_entries=max_entries)
+        # Point cache keyed by the issuing CA's subject key id: one CA,
+        # one publication point (mirrors are copies inside one result).
+        self.points: dict[str, PointResult] = {}
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_verify_memo = self.metrics.counter(
+            "repro_incremental_verify_memo_total",
+            help="verification-memo lookups, by result",
+            labelnames=("result",),
+        )
+        self._m_parse_memo = self.metrics.counter(
+            "repro_incremental_parse_memo_total",
+            help="parse-memo lookups, by result",
+            labelnames=("result",),
+        )
+        self._m_points = self.metrics.counter(
+            "repro_incremental_points_total",
+            help="publication points handled per run, reused vs revalidated",
+            labelnames=("outcome",),
+        )
+        self._m_invalidations = self.metrics.counter(
+            "repro_incremental_invalidations_total",
+            help="why a cached point result could not be reused",
+            labelnames=("reason",),
+        )
+        self._m_skipped = self.metrics.counter(
+            "repro_incremental_skipped_verifications_total",
+            help="signature checks avoided by replaying cached point results",
+        )
+        self._m_entries = self.metrics.gauge(
+            "repro_incremental_memo_entries",
+            help="entries currently held, by memo",
+            labelnames=("memo",),
+        )
+
+    # -- memo fronts (instrumented) -----------------------------------------
+
+    def verify_object(self, obj: SignedObject, key: RsaPublicKey) -> bool:
+        before = self.verify_memo.hits
+        verdict = self.verify_memo.verify_object(obj, key)
+        hit = self.verify_memo.hits > before
+        self._m_verify_memo.inc(result="hit" if hit else "miss")
+        return verdict
+
+    def parse(self, data: bytes) -> SignedObject:
+        before = self.parse_memo.hits
+        try:
+            return self.parse_memo.parse(data)
+        finally:
+            hit = self.parse_memo.hits > before
+            self._m_parse_memo.inc(result="hit" if hit else "miss")
+
+    # -- the dirty-point check ----------------------------------------------
+
+    def lookup(self, ca_key_id: str, fingerprint: tuple, now: int) -> PointResult | None:
+        """The cached result for this CA's point, if still valid at *now*.
+
+        Returns None — after counting why — when the point is dirty.
+        """
+        entry = self.points.get(ca_key_id)
+        if entry is None:
+            self._m_invalidations.inc(reason="new")
+            return None
+        if entry.fingerprint != fingerprint:
+            # Order mirrors the fingerprint layout in PathValidator:
+            # (issuer hash, policy, copies).
+            if entry.fingerprint[0] != fingerprint[0]:
+                reason = "issuer"
+            elif entry.fingerprint[1] != fingerprint[1]:
+                reason = "policy"
+            else:
+                reason = "content"
+            self._m_invalidations.inc(reason=reason)
+            return None
+        if time_signature(entry.boundaries, now) != entry.time_sig:
+            self._m_invalidations.inc(reason="time")
+            return None
+        return entry
+
+    def store(self, ca_key_id: str, entry: PointResult) -> None:
+        self.points[ca_key_id] = entry
+        self._update_gauges()
+
+    def count_reused(self, entry: PointResult) -> None:
+        self._m_points.inc(outcome="reused")
+        if entry.verify_count:
+            self._m_skipped.inc(entry.verify_count)
+
+    def count_validated(self) -> None:
+        self._m_points.inc(outcome="validated")
+
+    def _update_gauges(self) -> None:
+        self._m_entries.set(len(self.verify_memo), memo="verify")
+        self._m_entries.set(len(self.parse_memo), memo="parse")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Forget everything; the next run is fully cold."""
+        self.verify_memo = VerificationMemo(max_entries=self.verify_memo.max_entries)
+        self.parse_memo = ParseMemo(max_entries=self.parse_memo.max_entries)
+        self.points.clear()
+        self._update_gauges()

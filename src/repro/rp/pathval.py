@@ -16,6 +16,15 @@ through the cached publication points, checking at every step
 Everything that fails produces a :class:`ValidationIssue` instead of an
 exception: for a relying party, broken data is an input condition, and the
 paper's entire Section 4 is about what those conditions do to routing.
+
+Validation is organized around *publication points*: each accepted CA
+certificate leads to one point, whose local outcome (issues, accepted
+children, ROAs, VRPs, contact) is computed as a unit and only then
+recursed into.  That unit is exactly what :mod:`repro.rp.incremental`
+caches — hand the validator an :class:`~repro.rp.incremental.IncrementalState`
+and unchanged points are replayed from the previous run instead of being
+re-parsed and re-verified.  With no state attached the validator is the
+plain cold algorithm with identical behavior to earlier revisions.
 """
 
 from __future__ import annotations
@@ -23,7 +32,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from ..crypto import sha256_hex
+from ..crypto import RsaPublicKey, sha256_hex
+from ..repository.cache import point_digest
 from ..repository.uri import RsyncUri
 from ..telemetry import MetricsRegistry, default_registry
 from ..rpki.ca import CRL_FILE, MANIFEST_FILE
@@ -33,7 +43,9 @@ from ..rpki.errors import ObjectFormatError
 from ..rpki.manifest import Manifest
 from ..rpki.parse import parse_object
 from ..rpki.ghostbusters import GhostbustersRecord
+from ..rpki.objects import SignedObject
 from ..rpki.roa import Roa
+from .incremental import IncrementalState, PointResult, time_signature
 from .vrp import VRP, VrpSet
 
 __all__ = [
@@ -107,6 +119,10 @@ class PathValidator:
         paper), individual objects are still used and issues are recorded
         as warnings — the lenient end of the "what to do about incomplete
         information?" tradeoff.
+    incremental:
+        An :class:`~repro.rp.incremental.IncrementalState` to carry memos
+        and per-point results across runs.  ``None`` (default) validates
+        cold every time.
     """
 
     def __init__(
@@ -115,11 +131,14 @@ class PathValidator:
         *,
         strict_manifests: bool = False,
         metrics: MetricsRegistry | None = None,
+        incremental: IncrementalState | None = None,
     ):
         if not trust_anchors:
             raise ValueError("at least one trust anchor is required")
         self.trust_anchors = list(trust_anchors)
         self.strict_manifests = strict_manifests
+        self.incremental = incremental
+        self._verify_calls = 0
         self.metrics = metrics if metrics is not None else default_registry()
         self._m_runs = self.metrics.counter(
             "repro_validation_runs_total", help="full path-validation passes"
@@ -135,17 +154,30 @@ class PathValidator:
             labelnames=("severity",),
         )
 
-    def run(self, cache_files: dict[str, dict[str, bytes]], now: int) -> ValidationRun:
+    def run(
+        self,
+        cache_files: dict[str, dict[str, bytes]],
+        now: int,
+        *,
+        digests: dict[str, str] | None = None,
+    ) -> ValidationRun:
         """Validate everything reachable from the trust anchors.
 
         *cache_files* maps publication point URI → file name → bytes
         (the shape of :meth:`repro.repository.LocalCache.all_files`).
+        *digests* optionally maps point URI → content digest (the shape
+        of :meth:`repro.repository.LocalCache.digests`); used only in
+        incremental mode, and computed from the bytes when absent.
         """
+        if self.incremental is not None and digests is None:
+            digests = {
+                uri: point_digest(files) for uri, files in cache_files.items()
+            }
         result = ValidationRun()
         seen_cas: set[str] = set()
         for anchor in self.trust_anchors:
-            if not anchor.is_self_signed or not anchor.verify_signature(
-                anchor.subject_key
+            if not anchor.is_self_signed or not self._verify(
+                anchor, anchor.subject_key
             ):
                 result.issues.append(ValidationIssue(
                     Severity.ERROR, anchor.sia, "", "ta-bad-signature",
@@ -159,7 +191,8 @@ class PathValidator:
                 ))
                 continue
             result.validated_cas.append(anchor)
-            self._descend(anchor, cache_files, now, result, seen_cas, depth=0)
+            self._descend(anchor, cache_files, digests, now, result, seen_cas,
+                          depth=0)
         self._m_runs.inc()
         if result.validated_cas:
             self._m_objects.inc(len(result.validated_cas), type="ca")
@@ -173,12 +206,28 @@ class PathValidator:
                 self._m_issues.inc(count, severity=severity.value)
         return result
 
+    # -- memo-aware primitives ----------------------------------------------
+
+    def _verify(self, obj: SignedObject, key: RsaPublicKey) -> bool:
+        """Signature check, via the verification memo when attached."""
+        self._verify_calls += 1
+        if self.incremental is not None:
+            return self.incremental.verify_object(obj, key)
+        return obj.verify_signature(key)
+
+    def _parse(self, data: bytes) -> SignedObject:
+        """Parse, via the parse memo when attached."""
+        if self.incremental is not None:
+            return self.incremental.parse(data)
+        return parse_object(data)
+
     # -- internals ----------------------------------------------------------
 
     def _descend(
         self,
         ca_cert: ResourceCertificate,
         cache_files: dict[str, dict[str, bytes]],
+        digests: dict[str, str] | None,
         now: int,
         result: ValidationRun,
         seen_cas: set[str],
@@ -195,59 +244,223 @@ class PathValidator:
             return  # loop guard (malicious self-recertification)
         seen_cas.add(ca_cert.subject_key_id)
 
-        # Multiple-publication-points support: among the primary SIA and
-        # its mirrors, prefer the first *manifest-consistent* cached copy —
-        # the copies are supposed to be identical, so a corrupted or stale
-        # primary is simply outvoted by a clean mirror.
+        entry: PointResult | None = None
+        fingerprint: tuple = ()
+        if self.incremental is not None:
+            fingerprint = self._point_fingerprint(ca_cert, cache_files, digests)
+            entry = self.incremental.lookup(
+                ca_cert.subject_key_id, fingerprint, now
+            )
+            if entry is not None:
+                self.incremental.count_reused(entry)
+        if entry is None:
+            entry = self._validate_point(ca_cert, cache_files, now, fingerprint)
+            if self.incremental is not None:
+                self.incremental.count_validated()
+                self.incremental.store(ca_cert.subject_key_id, entry)
+
+        # Apply the point's local outcome, then recurse into the subtree.
+        # Replayed and freshly computed results take the identical path, so
+        # warm output is byte-for-byte equal to cold output by construction.
+        result.issues.extend(entry.issues)
+        if entry.contact is not None:
+            result.contacts[entry.selected_uri] = entry.contact
+        for roa in entry.roas:
+            result.validated_roas.append(roa)
+            result.roa_locations[roa.hash_hex] = entry.selected_uri
+        for vrp in entry.vrps:
+            result.vrps.add(vrp)
+        for child in entry.children:
+            result.validated_cas.append(child)
+            self._descend(child, cache_files, digests, now, result, seen_cas,
+                          depth + 1)
+
+    def _point_fingerprint(
+        self,
+        ca_cert: ResourceCertificate,
+        cache_files: dict[str, dict[str, bytes]],
+        digests: dict[str, str] | None,
+    ) -> tuple:
+        """The exact reuse key for one CA's publication point.
+
+        Covers the issuing certificate (byte hash — a reissued or shrunk
+        parent always dirties the point, and the issuer CRL lives *in*
+        the point so content covers it), the strictness policy, and the
+        content digest of every cached copy, primary and mirrors alike.
+        """
+        digests = digests or {}
+        copies = tuple(
+            (uri, digests.get(uri, ""))
+            for uri in (_normalize(u) for u in ca_cert.all_publication_uris)
+            if uri in cache_files
+        )
+        return (ca_cert.hash_hex, self.strict_manifests, copies)
+
+    def _validate_point(
+        self,
+        ca_cert: ResourceCertificate,
+        cache_files: dict[str, dict[str, bytes]],
+        now: int,
+        fingerprint: tuple,
+    ) -> PointResult:
+        """Cold-validate one publication point into a replayable result."""
+        issues: list[ValidationIssue] = []
+        verify_before = self._verify_calls
+
         point_uri, files = self._select_point_copy(ca_cert, cache_files, now)
         if files is None:
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.ERROR, _normalize(ca_cert.sia), "", "point-missing",
                 f"publication point of {ca_cert.subject!r} absent from cache",
             ))
-            return
+            return self._finish_point(
+                ca_cert, cache_files, None, now, fingerprint, point_uri,
+                issues, [], [], [], None, verify_before,
+            )
         if point_uri != _normalize(ca_cert.sia):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.WARNING, _normalize(ca_cert.sia), "", "using-mirror",
                 f"primary copy unusable or absent; using mirror {point_uri}",
             ))
-        ca_key = ca_cert.subject_key
 
-        crl = self._load_crl(point_uri, files, ca_cert, now, result)
-        usable = self._apply_manifest(point_uri, files, ca_cert, now, result)
-        if usable is None:
-            return  # strict mode discarded the point
+        crl = self._load_crl(point_uri, files, ca_cert, now, issues)
+        usable = self._apply_manifest(point_uri, files, ca_cert, now, issues)
+        children: list[ResourceCertificate] = []
+        roas: list[Roa] = []
+        vrps: list[VRP] = []
+        contact: GhostbustersRecord | None = None
+        if usable is not None:  # strict mode may discard the point whole
+            for file_name in sorted(usable):
+                if file_name in (CRL_FILE, MANIFEST_FILE):
+                    continue
+                data = usable[file_name]
+                try:
+                    obj = self._parse(data)
+                except ObjectFormatError as exc:
+                    issues.append(ValidationIssue(
+                        Severity.ERROR, point_uri, file_name, "parse-failed",
+                        str(exc),
+                    ))
+                    continue
+                if isinstance(obj, ResourceCertificate):
+                    child = self._check_child_cert(
+                        point_uri, file_name, obj, ca_cert, crl, now, issues
+                    )
+                    if child is not None:
+                        children.append(child)
+                elif isinstance(obj, Roa):
+                    roa = self._check_roa(
+                        point_uri, file_name, obj, ca_cert, crl, now, issues
+                    )
+                    if roa is not None:
+                        roas.append(roa)
+                        for roa_prefix in roa.prefixes:
+                            vrps.append(VRP(
+                                prefix=roa_prefix.prefix,
+                                max_length=roa_prefix.effective_max_length,
+                                asn=roa.asn,
+                            ))
+                elif isinstance(obj, GhostbustersRecord):
+                    record = self._check_ghostbusters(
+                        point_uri, file_name, obj, ca_cert, crl, now, issues
+                    )
+                    if record is not None:
+                        contact = record
+                else:
+                    issues.append(ValidationIssue(
+                        Severity.WARNING, point_uri, file_name,
+                        "unexpected-type",
+                        f"unexpected object type {obj.TYPE!r} in publication point",
+                    ))
+        return self._finish_point(
+            ca_cert, cache_files, files, now, fingerprint, point_uri,
+            issues, children, roas, vrps, contact, verify_before,
+        )
 
-        for file_name in sorted(usable):
-            if file_name in (CRL_FILE, MANIFEST_FILE):
+    def _finish_point(
+        self,
+        ca_cert: ResourceCertificate,
+        cache_files: dict[str, dict[str, bytes]],
+        selected_files: dict[str, bytes] | None,
+        now: int,
+        fingerprint: tuple,
+        point_uri: str,
+        issues: list[ValidationIssue],
+        children: list[ResourceCertificate],
+        roas: list[Roa],
+        vrps: list[VRP],
+        contact: GhostbustersRecord | None,
+        verify_before: int,
+    ) -> PointResult:
+        """Package a point's outcome, with its time-reuse signature."""
+        if self.incremental is not None:
+            boundaries = self._collect_boundaries(
+                ca_cert, cache_files, selected_files
+            )
+        else:
+            boundaries = ()  # never consulted without an IncrementalState
+        return PointResult(
+            fingerprint=fingerprint,
+            boundaries=boundaries,
+            time_sig=time_signature(boundaries, now),
+            selected_uri=point_uri,
+            issues=tuple(issues),
+            children=tuple(children),
+            roas=tuple(roas),
+            vrps=tuple(vrps),
+            contact=contact,
+            verify_count=self._verify_calls - verify_before,
+        )
+
+    def _collect_boundaries(
+        self,
+        ca_cert: ResourceCertificate,
+        cache_files: dict[str, dict[str, bytes]],
+        selected_files: dict[str, bytes] | None,
+    ) -> tuple[int, ...]:
+        """Every time boundary this point's verdicts could depend on.
+
+        Each time predicate the point evaluates — ``not_before <= now``,
+        ``now <= not_after``, ``next_update < now`` (``next_update``
+        aliases the payload ``not_after`` for CRLs and manifests) — flips
+        only at a validity edge of some parseable object: every object of
+        the selected copy, the EE certificates embedded in ROAs and
+        Ghostbusters records, and the manifests of *other* cached copies
+        (their staleness steers :meth:`_select_point_copy`).  A superset
+        is collected — extra boundaries cause at worst a spurious
+        revalidation, never a stale reuse.  Unparseable bytes contribute
+        nothing: their outcome cannot depend on time, and any byte change
+        is caught by the content fingerprint instead.
+        """
+        bounds: set[int] = set()
+
+        def add(obj: SignedObject) -> None:
+            bounds.add(obj.not_before)
+            bounds.add(obj.not_after)
+
+        for uri in (_normalize(u) for u in ca_cert.all_publication_uris):
+            files = cache_files.get(uri)
+            if files is None or files is selected_files:
                 continue
-            data = usable[file_name]
+            data = files.get(MANIFEST_FILE)
+            if data is None:
+                continue
             try:
-                obj = parse_object(data)
-            except ObjectFormatError as exc:
-                result.issues.append(ValidationIssue(
-                    Severity.ERROR, point_uri, file_name, "parse-failed", str(exc),
-                ))
+                mirror_manifest = self._parse(data)
+            except ObjectFormatError:
                 continue
-            if isinstance(obj, ResourceCertificate):
-                child = self._check_child_cert(
-                    point_uri, file_name, obj, ca_cert, crl, now, result
-                )
-                if child is not None:
-                    result.validated_cas.append(child)
-                    self._descend(child, cache_files, now, result, seen_cas,
-                                  depth + 1)
-            elif isinstance(obj, Roa):
-                self._check_roa(point_uri, file_name, obj, ca_cert, crl, now,
-                                result)
-            elif isinstance(obj, GhostbustersRecord):
-                self._check_ghostbusters(point_uri, file_name, obj, ca_cert,
-                                         crl, now, result)
-            else:
-                result.issues.append(ValidationIssue(
-                    Severity.WARNING, point_uri, file_name, "unexpected-type",
-                    f"unexpected object type {obj.TYPE!r} in publication point",
-                ))
+            if isinstance(mirror_manifest, Manifest):
+                add(mirror_manifest)
+        for data in (selected_files or {}).values():
+            try:
+                obj = self._parse(data)
+            except ObjectFormatError:
+                continue
+            add(obj)
+            ee = getattr(obj, "ee_cert", None)
+            if ee is not None:
+                add(ee)
+        return tuple(sorted(bounds))
 
     def _select_point_copy(
         self,
@@ -278,20 +491,19 @@ class PathValidator:
             return first_present
         return _normalize(ca_cert.sia), None
 
-    @staticmethod
     def _copy_is_consistent(
-        files: dict[str, bytes], ca_cert: ResourceCertificate, now: int
+        self, files: dict[str, bytes], ca_cert: ResourceCertificate, now: int
     ) -> bool:
         data = files.get(MANIFEST_FILE)
         if data is None:
             return False
         try:
-            manifest = parse_object(data)
+            manifest = self._parse(data)
         except ObjectFormatError:
             return False
         if not isinstance(manifest, Manifest):
             return False
-        if not manifest.verify_signature(ca_cert.subject_key):
+        if not self._verify(manifest, ca_cert.subject_key):
             return False
         if manifest.next_update < now:
             return False
@@ -303,38 +515,38 @@ class PathValidator:
             for name in on_disk
         )
 
-    def _load_crl(self, point_uri, files, ca_cert, now, result) -> Crl | None:
+    def _load_crl(self, point_uri, files, ca_cert, now, issues) -> Crl | None:
         data = files.get(CRL_FILE)
         if data is None:
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.WARNING, point_uri, CRL_FILE, "crl-missing",
                 "no CRL at publication point; revocation cannot be checked",
             ))
             return None
         try:
-            crl = parse_object(data)
+            crl = self._parse(data)
         except ObjectFormatError as exc:
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, CRL_FILE, "crl-parse-failed", str(exc),
             ))
             return None
-        if not isinstance(crl, Crl) or not crl.verify_signature(
-            ca_cert.subject_key
+        if not isinstance(crl, Crl) or not self._verify(
+            crl, ca_cert.subject_key
         ):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, CRL_FILE, "crl-bad-signature",
                 "CRL does not verify under the CA key",
             ))
             return None
         if crl.next_update < now:
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.WARNING, point_uri, CRL_FILE, "crl-stale",
                 f"CRL nextUpdate {crl.next_update} is in the past (now {now})",
             ))
         return crl
 
     def _apply_manifest(
-        self, point_uri, files, ca_cert, now, result
+        self, point_uri, files, ca_cert, now, issues
     ) -> dict[str, bytes] | None:
         """Check manifest consistency; returns the usable file dict.
 
@@ -344,21 +556,21 @@ class PathValidator:
         data = files.get(MANIFEST_FILE)
         manifest: Manifest | None = None
         if data is None:
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.WARNING, point_uri, MANIFEST_FILE, "manifest-missing",
                 "no manifest; cannot detect missing or extra objects",
             ))
             strict_fail = "manifest-missing"
         else:
             try:
-                parsed = parse_object(data)
+                parsed = self._parse(data)
                 manifest = parsed if isinstance(parsed, Manifest) else None
             except ObjectFormatError:
                 manifest = None
-            if manifest is None or not manifest.verify_signature(
-                ca_cert.subject_key
+            if manifest is None or not self._verify(
+                manifest, ca_cert.subject_key
             ):
-                result.issues.append(ValidationIssue(
+                issues.append(ValidationIssue(
                     Severity.ERROR, point_uri, MANIFEST_FILE,
                     "manifest-bad", "manifest unparsable or badly signed",
                 ))
@@ -368,7 +580,7 @@ class PathValidator:
         usable = {k: v for k, v in files.items() if k != MANIFEST_FILE}
         if manifest is not None:
             if manifest.next_update < now:
-                result.issues.append(ValidationIssue(
+                issues.append(ValidationIssue(
                     Severity.WARNING, point_uri, MANIFEST_FILE, "manifest-stale",
                     f"manifest nextUpdate {manifest.next_update} < now {now}",
                 ))
@@ -376,19 +588,19 @@ class PathValidator:
             on_disk = set(usable)
             listed = manifest.file_names
             for missing in sorted(listed - on_disk):
-                result.issues.append(ValidationIssue(
+                issues.append(ValidationIssue(
                     Severity.WARNING, point_uri, missing, "manifest-file-missing",
                     "file listed in manifest but absent from fetch",
                 ))
                 strict_fail = strict_fail or "manifest-file-missing"
             for extra in sorted(on_disk - listed):
-                result.issues.append(ValidationIssue(
+                issues.append(ValidationIssue(
                     Severity.WARNING, point_uri, extra, "manifest-file-extra",
                     "file present but not listed in manifest",
                 ))
             for file_name in sorted(on_disk & listed):
                 if sha256_hex(usable[file_name]) != manifest.hash_of(file_name):
-                    result.issues.append(ValidationIssue(
+                    issues.append(ValidationIssue(
                         Severity.ERROR, point_uri, file_name, "hash-mismatch",
                         "file bytes do not match the manifest hash",
                     ))
@@ -396,7 +608,7 @@ class PathValidator:
                     strict_fail = strict_fail or "hash-mismatch"
 
         if self.strict_manifests and strict_fail is not None:
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, MANIFEST_FILE, "point-discarded",
                 f"strict mode discarded the point ({strict_fail})",
             ))
@@ -404,34 +616,34 @@ class PathValidator:
         return usable
 
     def _check_child_cert(
-        self, point_uri, file_name, cert, ca_cert, crl, now, result
+        self, point_uri, file_name, cert, ca_cert, crl, now, issues
     ) -> ResourceCertificate | None:
         if cert.issuer_key_id != ca_cert.subject_key_id:
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.WARNING, point_uri, file_name, "wrong-issuer",
                 "certificate names a different issuer than this point's CA",
             ))
             return None
-        if not cert.verify_signature(ca_cert.subject_key):
-            result.issues.append(ValidationIssue(
+        if not self._verify(cert, ca_cert.subject_key):
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, file_name, "bad-signature",
                 f"certificate for {cert.subject!r} fails signature check",
             ))
             return None
         if not cert.is_current(now):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, file_name, "expired",
                 f"certificate for {cert.subject!r} not valid at t={now}",
             ))
             return None
         if crl is not None and crl.is_revoked(cert.serial):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, file_name, "revoked",
                 f"certificate serial {cert.serial} is on the issuer's CRL",
             ))
             return None
         if not ca_cert.ip_resources.covers(cert.ip_resources):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, file_name, "overclaim",
                 f"certificate for {cert.subject!r} claims resources its "
                 "issuer does not hold",
@@ -439,87 +651,82 @@ class PathValidator:
             return None
         return cert
 
-    def _check_roa(self, point_uri, file_name, roa, ca_cert, crl, now, result):
+    def _check_roa(
+        self, point_uri, file_name, roa, ca_cert, crl, now, issues
+    ) -> Roa | None:
         ee = roa.ee_cert
         if ee.issuer_key_id != ca_cert.subject_key_id:
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.WARNING, point_uri, file_name, "wrong-issuer",
                 "ROA's EE certificate names a different issuer",
             ))
-            return
-        if not ee.verify_signature(ca_cert.subject_key):
-            result.issues.append(ValidationIssue(
+            return None
+        if not self._verify(ee, ca_cert.subject_key):
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, file_name, "ee-bad-signature",
                 "embedded EE certificate fails signature check",
             ))
-            return
+            return None
         if not ee.is_current(now) or not roa.is_current(now):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, file_name, "expired",
                 f"ROA {roa.describe()} not valid at t={now}",
             ))
-            return
+            return None
         if crl is not None and crl.is_revoked(ee.serial):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, file_name, "revoked",
                 f"ROA {roa.describe()} EE serial {ee.serial} is revoked",
             ))
-            return
+            return None
         if not ca_cert.ip_resources.covers(ee.ip_resources):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, file_name, "overclaim",
                 f"ROA {roa.describe()} EE claims resources the CA lacks",
             ))
-            return
-        if not roa.verify_signature(ee.subject_key):
-            result.issues.append(ValidationIssue(
+            return None
+        if not self._verify(roa, ee.subject_key):
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, file_name, "roa-bad-signature",
                 "ROA fails signature check under its EE key",
             ))
-            return
+            return None
         if not ee.ip_resources.covers(roa.resources()):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, file_name, "roa-overclaim",
                 "ROA names prefixes outside its EE certificate",
             ))
-            return
-        result.validated_roas.append(roa)
-        result.roa_locations[roa.hash_hex] = point_uri
-        for roa_prefix in roa.prefixes:
-            result.vrps.add(VRP(
-                prefix=roa_prefix.prefix,
-                max_length=roa_prefix.effective_max_length,
-                asn=roa.asn,
-            ))
+            return None
+        return roa
 
     def _check_ghostbusters(
-        self, point_uri, file_name, record, ca_cert, crl, now, result
-    ):
+        self, point_uri, file_name, record, ca_cert, crl, now, issues
+    ) -> GhostbustersRecord | None:
         """Validate a contact record: same EE discipline as a ROA."""
         ee = record.ee_cert
         if (
             ee.issuer_key_id != ca_cert.subject_key_id
-            or not ee.verify_signature(ca_cert.subject_key)
-            or not record.verify_signature(ee.subject_key)
+            or not self._verify(ee, ca_cert.subject_key)
+            or not self._verify(record, ee.subject_key)
         ):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.WARNING, point_uri, file_name, "gbr-bad-signature",
                 "ghostbusters record fails its signature chain",
             ))
-            return
+            return None
         if not ee.is_current(now) or not record.is_current(now):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.WARNING, point_uri, file_name, "gbr-expired",
                 "ghostbusters record expired",
             ))
-            return
+            return None
         if crl is not None and crl.is_revoked(ee.serial):
-            result.issues.append(ValidationIssue(
+            issues.append(ValidationIssue(
                 Severity.WARNING, point_uri, file_name, "gbr-revoked",
                 "ghostbusters record EE certificate revoked",
             ))
-            return
-        result.contacts[point_uri] = record
+            return None
+        return record
 
 
 def _normalize(sia: str) -> str:

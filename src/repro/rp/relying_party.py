@@ -23,6 +23,7 @@ from ..repository.uri import RsyncUri
 from ..rpki.cert import ResourceCertificate
 from ..simtime import Clock
 from ..telemetry import MetricsRegistry, default_registry
+from .incremental import IncrementalState
 from .origin import classify
 from .pathval import PathValidator, ValidationRun
 from .states import Route, RouteValidity
@@ -91,6 +92,13 @@ class RelyingParty:
         stale-serve path.  ``None`` (default) never stops fetching.
     strict_manifests:
         Validator policy on manifest trouble (see :class:`PathValidator`).
+    incremental:
+        If True, keep an :class:`~repro.rp.incremental.IncrementalState`
+        across refreshes so unchanged publication points are replayed
+        instead of re-parsed and re-verified (see
+        :mod:`repro.rp.incremental` for the exact invalidation rules).
+        Validation *results* are identical either way; only the work done
+        to produce them changes.  Default False.
     metrics:
         Telemetry registry shared with this RP's cache and validator
         (None → the process-global default registry).  Give each relying
@@ -107,6 +115,7 @@ class RelyingParty:
         stale_grace: int | None = None,
         fetch_budget: int | None = None,
         strict_manifests: bool = False,
+        incremental: bool = False,
         metrics: MetricsRegistry | None = None,
     ):
         if fetch_budget is not None and fetch_budget < 1:
@@ -116,9 +125,12 @@ class RelyingParty:
         self.metrics = metrics if metrics is not None else default_registry()
         self.cache = LocalCache(keep_stale=keep_stale, stale_grace=stale_grace,
                                 metrics=self.metrics)
+        self.incremental_state = (
+            IncrementalState(metrics=self.metrics) if incremental else None
+        )
         self.validator = PathValidator(
             trust_anchors, strict_manifests=strict_manifests,
-            metrics=self.metrics,
+            metrics=self.metrics, incremental=self.incremental_state,
         )
         self._clock = clock if clock is not None else fetcher.clock
         self._last_run: ValidationRun | None = None
@@ -156,6 +168,7 @@ class RelyingParty:
         run = ValidationRun()
         start = self._clock.now
         budget_hit = False
+        unfetched_at_break: set[str] = set()
         with self.metrics.trace("repro_rp_refresh_seconds", self._clock):
             while pending and not budget_hit:
                 report.rounds += 1
@@ -167,17 +180,13 @@ class RelyingParty:
                         # Budget gone: stop fetching, validate what the
                         # cache has (the stale-fallback path).
                         budget_hit = True
-                        report.skipped = [
-                            u for u in sorted(pending) if u not in fetched
-                        ]
+                        unfetched_at_break = pending - fetched
                         break
                     result = self.fetcher.fetch_point(uri)
                     self.cache.update(result)
                     report.fetches.append(result)
                     fetched.add(uri)
-                run = self.validator.run(
-                    self.cache.all_files(self._clock.now), self._clock.now
-                )
+                run = self._validate()
                 discovered = {
                     str(RsyncUri.parse(uri))
                     for cert in run.validated_cas
@@ -186,7 +195,9 @@ class RelyingParty:
                 pending = discovered - fetched
         if budget_hit:
             report.budget_exhausted = True
-            report.skipped = sorted(set(report.skipped) | (pending - fetched))
+            # One computation covers both the points skipped when the
+            # budget tripped and anything the final validation discovered.
+            report.skipped = sorted(unfetched_at_break | (pending - fetched))
             self._m_budget_exhausted.inc()
         report.freshness = self.cache.classify(self._clock.now)
         report.run = run
@@ -195,6 +206,16 @@ class RelyingParty:
         self._m_rounds.inc(report.rounds)
         self._m_vrps.set(len(run.vrps))
         return report
+
+    def _validate(self) -> ValidationRun:
+        """One validation pass over the current cache snapshot."""
+        now = self._clock.now
+        digests = (
+            self.cache.digests(now) if self.incremental_state is not None
+            else None
+        )
+        return self.validator.run(self.cache.all_files(now), now,
+                                  digests=digests)
 
     # -- classification surface -------------------------------------------------
 

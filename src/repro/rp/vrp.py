@@ -61,11 +61,20 @@ class VRP:
 
 
 class VrpSet:
-    """An immutable-after-build, trie-indexed collection of VRPs."""
+    """An immutable-after-build, trie-indexed collection of VRPs.
+
+    Iteration order, equality, and the delta methods all work over the
+    *sorted* VRP list; that view (and a frozenset twin used for membership
+    algebra) is computed once per mutation epoch and cached —
+    :meth:`add` invalidates both — so the monitor's per-epoch set
+    comparisons stop paying an O(n log n) sort per call.
+    """
 
     def __init__(self, vrps: Iterable[VRP] = ()):
         self._index: PrefixMap[list[VRP]] = PrefixMap()
         self._all: list[VRP] = []
+        self._sorted: list[VRP] | None = None
+        self._frozen: frozenset[VRP] | None = None
         for vrp in vrps:
             self.add(vrp)
 
@@ -77,14 +86,27 @@ class VrpSet:
         if vrp not in bucket:
             bucket.append(vrp)
             self._all.append(vrp)
+            self._sorted = None
+            self._frozen = None
 
     def covering(self, prefix: Prefix) -> Iterator[VRP]:
         """All VRPs whose prefix covers *prefix*, least-specific first."""
         for _, bucket in self._index.covering(prefix):
             yield from bucket
 
+    def _sorted_view(self) -> list[VRP]:
+        if self._sorted is None:
+            self._sorted = sorted(self._all)
+        return self._sorted
+
+    def as_frozenset(self) -> frozenset[VRP]:
+        """This set's VRPs as a (cached) frozenset, for set algebra."""
+        if self._frozen is None:
+            self._frozen = frozenset(self._all)
+        return self._frozen
+
     def __iter__(self) -> Iterator[VRP]:
-        return iter(sorted(self._all))
+        return iter(self._sorted_view())
 
     def __len__(self) -> int:
         return len(self._all)
@@ -96,11 +118,24 @@ class VrpSet:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, VrpSet):
             return NotImplemented
-        return sorted(self._all) == sorted(other._all)
+        return self._sorted_view() == other._sorted_view()
 
     def difference(self, other: "VrpSet") -> list[VRP]:
         """VRPs present here but not in *other* (for monitor diffs)."""
-        return [vrp for vrp in sorted(self._all) if vrp not in other]
+        other_frozen = other.as_frozenset()
+        return [vrp for vrp in self._sorted_view() if vrp not in other_frozen]
+
+    def added(self, previous: "VrpSet") -> list[VRP]:
+        """VRPs in this set that *previous* lacked, sorted.
+
+        The per-epoch monitor delta: with both frozensets cached this is
+        one set difference, not a membership probe per element.
+        """
+        return sorted(self.as_frozenset() - previous.as_frozenset())
+
+    def removed(self, previous: "VrpSet") -> list[VRP]:
+        """VRPs *previous* had that this set lacks, sorted (whack signal)."""
+        return sorted(previous.as_frozenset() - self.as_frozenset())
 
     def __repr__(self) -> str:
         return f"VrpSet({len(self._all)} VRPs)"

@@ -110,7 +110,12 @@ class RtrCacheServer:
         Computes the delta against the current state; a no-op update does
         not bump the serial (RFC 6810 serials only move on real change).
         """
-        new_set = set(vrps)
+        # A VrpSet hands over its cached frozenset; anything else is
+        # materialized the slow way (iterating a VrpSet would sort it).
+        if isinstance(vrps, VrpSet):
+            new_set: set[VRP] | frozenset[VRP] = vrps.as_frozenset()
+        else:
+            new_set = set(vrps)
         announced = sorted(new_set - self._current)
         withdrawn = sorted(self._current - new_set)
         if not announced and not withdrawn:

@@ -85,6 +85,30 @@ class TestCli:
         assert "repro_breaker_transitions_total" in out
         assert "repro_cache_expired_drops_total" in out
 
+    def test_perf(self, capsys):
+        out = run(capsys, "perf", "--epochs", "4")
+        assert "cold start" in out
+        # The zero-churn warm epoch skips every RSA verification...
+        assert "zero-churn warm refresh: 0 RSA verifications" in out
+        # ...with a perfect memo hit rate and every point replayed.  Table
+        # rows are "<epoch> <kind> <verifies> ..."; the summary footer also
+        # mentions "warm" so match on the kind column, not the whole line.
+        rows = [l.split() for l in out.splitlines() if l.strip()[:1].isdigit()]
+        warm_rows = [r for r in rows if r[1] == "warm"]
+        assert warm_rows
+        assert all(row[3] == "100.0%" for row in warm_rows)
+        assert all(int(row[2]) == 0 for row in warm_rows)
+        # The churn epoch re-verifies only the renewed point's objects.
+        churn_rows = [r for r in rows if r[1] == "churn"]
+        assert len(churn_rows) == 1
+        assert 0 < int(churn_rows[0][2]) < 20
+
+    def test_perf_emit_metrics(self, capsys):
+        out = run(capsys, "perf", "--epochs", "3", "--emit-metrics")
+        assert "repro_incremental_verify_memo_total" in out
+        assert "repro_incremental_points_total" in out
+        assert "repro_incremental_skipped_verifications_total" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])

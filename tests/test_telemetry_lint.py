@@ -28,6 +28,18 @@ def test_lint_catches_bad_metric_name(tmp_path):
     assert len(problems) == 1 and "snake_case" in problems[0]
 
 
+def test_lint_catches_missing_unit_suffix(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "registry.counter('repro_memo_hits')\n"
+        "registry.trace('repro_refresh_duration', clock)\n"
+    )
+    problems = check_telemetry_names.check_file(bad)
+    assert len(problems) == 2
+    assert "'_total'" in problems[0]
+    assert "'_seconds'" in problems[1]
+
+
 def test_lint_catches_wall_clock(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text("import time\nstart = time.perf_counter()\n")

@@ -7,7 +7,11 @@ Statically checks every module under ``src/repro``:
    ``counter(...)`` / ``gauge(...)`` / ``histogram(...)`` / ``trace(...)``
    call must be ``snake_case`` and carry the ``repro_`` prefix — the same
    rule :class:`repro.telemetry.MetricsRegistry` enforces at runtime, but
-   caught at review time and for code paths tests never execute.
+   caught at review time and for code paths tests never execute.  On top
+   of that, Prometheus unit-suffix conventions are enforced per factory:
+   ``counter(...)`` names must end in ``_total`` and ``trace(...)`` names
+   (duration histograms) in ``_seconds``, so dashboards can rely on the
+   suffix to infer the metric's unit.
 
 2. **Determinism.**  No module may call ``time.time()``,
    ``time.perf_counter()``, or ``time.monotonic()``: all durations must
@@ -28,6 +32,9 @@ import sys
 
 METRIC_NAME_RE = re.compile(r"^repro_[a-z0-9]+(_[a-z0-9]+)*$")
 METRIC_FACTORIES = {"counter", "gauge", "histogram", "trace"}
+# Prometheus unit-suffix conventions, per factory.  Counters count events
+# (``_total``); trace() produces duration histograms (``_seconds``).
+FACTORY_SUFFIXES = {"counter": "_total", "trace": "_seconds"}
 WALL_CLOCK_CALLS = {"time", "perf_counter", "monotonic", "monotonic_ns",
                     "perf_counter_ns", "time_ns"}
 
@@ -75,6 +82,12 @@ def check_file(path: pathlib.Path) -> list[str]:
                     problems.append(
                         f"{rel}:{node.lineno}: metric name {metric_name!r} "
                         "must be snake_case with the 'repro_' prefix"
+                    )
+                suffix = FACTORY_SUFFIXES.get(name)
+                if suffix and not metric_name.endswith(suffix):
+                    problems.append(
+                        f"{rel}:{node.lineno}: {name}() metric "
+                        f"{metric_name!r} must end in '{suffix}'"
                     )
         if _is_time_module_call(node):
             problems.append(
