@@ -12,6 +12,7 @@ Layering (import order is strictly bottom-up)::
 
     telemetry / simtime (substrate: metrics, simulated time)
     resources -> crypto -> rpki -> repository -> rp -> bgp -> rtr
+                        \\- parallel (worker pools; used by rp and modelgen)
                                    \\------------ core / monitor / jurisdiction
                                                   modelgen (fixtures & generators)
 
@@ -53,8 +54,10 @@ from .modelgen import (
     build_deployment,
     build_figure2,
     build_table4_world,
+    expected_keypairs,
     figure2_bgp,
 )
+from .parallel import ParallelEngine, WorkerPool, prefill_keys
 from .monitor import (
     ChurnConfig,
     ChurnEngine,
@@ -112,7 +115,7 @@ from .telemetry import (
     trace,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -138,11 +141,13 @@ __all__ = [
     "IncrementalState", "PathValidator", "RefreshReport", "RelyingParty",
     "Route", "RouteValidity", "SuspendersRelyingParty", "VRP",
     "ValidationRun", "VrpSet", "classify",
+    # parallel validation engine
+    "ParallelEngine", "WorkerPool", "prefill_keys",
     # rtr
     "DuplexPipe", "RtrCacheServer", "RtrRouterClient",
     # model fixtures
     "DeploymentConfig", "Figure2World", "build_deployment", "build_figure2",
-    "build_table4_world", "figure2_bgp",
+    "build_table4_world", "expected_keypairs", "figure2_bgp",
     # the paper's contribution
     "ClosedLoopSimulation", "collateral_of_revocation", "demonstrate_all",
     "execute_whack", "missing_roa_impact", "plan_whack", "validity_matrix",

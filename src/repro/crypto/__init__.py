@@ -13,7 +13,15 @@ from .errors import CryptoError, EncodingError, KeySizeError, SignatureError
 from .hashing import fingerprint, sha256, sha256_hex
 from .keys import KeyFactory, KeyPair, key_id_of
 from .prime import generate_prime, is_probable_prime
-from .rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from .rsa import (
+    RsaPrivateKey,
+    RsaPublicKey,
+    generate_keypair,
+    generate_keypair_raw,
+    record_keygens,
+    record_verifications,
+    verify_raw,
+)
 
 __all__ = [
     "CryptoError",
@@ -28,9 +36,13 @@ __all__ = [
     "encode",
     "fingerprint",
     "generate_keypair",
+    "generate_keypair_raw",
     "generate_prime",
     "is_probable_prime",
     "key_id_of",
+    "record_keygens",
+    "record_verifications",
     "sha256",
     "sha256_hex",
+    "verify_raw",
 ]

@@ -20,7 +20,15 @@ from .errors import KeySizeError, SignatureError
 from .hashing import sha256
 from .prime import generate_prime
 
-__all__ = ["RsaPublicKey", "RsaPrivateKey", "generate_keypair"]
+__all__ = [
+    "RsaPublicKey",
+    "RsaPrivateKey",
+    "generate_keypair",
+    "generate_keypair_raw",
+    "verify_raw",
+    "record_verifications",
+    "record_keygens",
+]
 
 # Keys are frozen dataclasses with no injection point, so signature
 # telemetry binds to the process-global registry at import time (the
@@ -107,10 +115,25 @@ class RsaPublicKey:
 
 @dataclass(frozen=True)
 class RsaPrivateKey:
-    """An RSA private key; carries its public half."""
+    """An RSA private key; carries its public half.
+
+    Keys produced by :func:`generate_keypair` additionally carry the CRT
+    precomputation (``p``, ``q``, ``d_p``, ``d_q``, ``q_inv``), which
+    :meth:`sign` uses to replace one full-width modular exponentiation
+    with two half-width ones.  The CRT and plain paths produce identical
+    signature bytes (same mathematical value; pinned by
+    ``tests/crypto/test_rsa.py``), so keys built from ``(public, d)``
+    alone — older pickles, hand-constructed fixtures — keep working on
+    the plain path.
+    """
 
     public: RsaPublicKey
     d: int
+    p: int | None = None
+    q: int | None = None
+    d_p: int | None = None
+    d_q: int | None = None
+    q_inv: int | None = None
 
     def sign(self, message: bytes) -> bytes:
         """Sign SHA-256(message) with PKCS#1-v1.5-style padding."""
@@ -123,8 +146,17 @@ class RsaPrivateKey:
         m = int.from_bytes(padded, "big")
         if m >= self.public.modulus:
             raise SignatureError("message representative exceeds modulus")
-        s = pow(m, self.d, self.public.modulus)
+        s = self._power(m)
         return s.to_bytes(self.public.modulus_bytes, "big")
+
+    def _power(self, m: int) -> int:
+        """``m ** d  (mod n)``, via CRT when the precomputation is present."""
+        if self.p is None or self.q is None:
+            return pow(m, self.d, self.public.modulus)
+        m1 = pow(m % self.p, self.d_p, self.p)
+        m2 = pow(m % self.q, self.d_q, self.q)
+        h = (self.q_inv * (m1 - m2)) % self.p
+        return m2 + h * self.q
 
 
 def generate_keypair(bits: int = 512, rng: random.Random | None = None) -> RsaPrivateKey:
@@ -134,6 +166,22 @@ def generate_keypair(bits: int = 512, rng: random.Random | None = None) -> RsaPr
     system-seeded generator.  512 bits is the simulation default — small
     enough that a full model RPKI signs in milliseconds, large enough that
     padding and DigestInfo fit comfortably.
+    """
+    key = generate_keypair_raw(bits, rng)
+    _KEYGEN_TOTAL.inc()
+    return key
+
+
+def generate_keypair_raw(
+    bits: int = 512, rng: random.Random | None = None
+) -> RsaPrivateKey:
+    """:func:`generate_keypair` minus telemetry: a pure pickle-safe function.
+
+    This is the entry point :mod:`repro.parallel.worker` runs inside pool
+    processes.  It must never touch the process-global metrics registry —
+    a worker's increments would be invisible to the parent (or, under
+    ``fork``, double-book against a stale copy); the parent credits the
+    aggregate via :func:`record_keygens` instead.
     """
     if bits < _MIN_MODULUS_BITS:
         raise KeySizeError(
@@ -154,8 +202,43 @@ def generate_keypair(bits: int = 512, rng: random.Random | None = None) -> RsaPr
             d = pow(_PUBLIC_EXPONENT, -1, phi)
         except ValueError:
             continue  # e not invertible mod phi; rare, retry
-        _KEYGEN_TOTAL.inc()
-        return RsaPrivateKey(public=RsaPublicKey(modulus=n), d=d)
+        return RsaPrivateKey(
+            public=RsaPublicKey(modulus=n), d=d,
+            p=p, q=q, d_p=d % (p - 1), d_q=d % (q - 1),
+            q_inv=pow(q, -1, p),
+        )
+
+
+def verify_raw(modulus: int, exponent: int, message: bytes, signature: bytes) -> bool:
+    """Uninstrumented signature check from plain integers and bytes.
+
+    The pickle-safe pure-function form of :meth:`RsaPublicKey.verify`,
+    for pool workers: no telemetry, no object graph — the parent
+    aggregates outcomes with :func:`record_verifications`.
+    """
+    return RsaPublicKey(modulus=modulus, exponent=exponent)._verify_raw(
+        message, signature
+    )
+
+
+def record_verifications(accepted: int, rejected: int) -> None:
+    """Credit verifications performed elsewhere to this process's registry.
+
+    Pool workers run :func:`verify_raw`, which deliberately does not
+    count; the parent calls this once per reassembled batch so
+    ``repro_crypto_verify_total`` keeps meaning "modular exponentiations
+    performed on behalf of this process".
+    """
+    if accepted:
+        _VERIFY_TOTAL.labels(outcome="accepted").inc(accepted)
+    if rejected:
+        _VERIFY_TOTAL.labels(outcome="rejected").inc(rejected)
+
+
+def record_keygens(count: int) -> None:
+    """Credit *count* worker-generated keypairs to this process's registry."""
+    if count:
+        _KEYGEN_TOTAL.inc(count)
 
 
 def _pad(message: bytes, target_length: int) -> bytes:

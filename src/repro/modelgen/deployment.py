@@ -31,7 +31,7 @@ from ..rpki import CertificateAuthority
 from ..simtime import Clock
 
 __all__ = ["DeploymentConfig", "DeploymentWorld", "build_deployment",
-           "build_table4_world"]
+           "build_table4_world", "expected_keypairs"]
 
 # Representative /8 blocks per RIR (a subset of the real IANA allocations).
 _RIR_BLOCKS: dict[RIR, tuple[str, ...]] = {
@@ -46,7 +46,16 @@ _RIR_BLOCKS: dict[RIR, tuple[str, ...]] = {
 
 @dataclass(frozen=True)
 class DeploymentConfig:
-    """Knobs of the synthetic deployment."""
+    """Knobs of the synthetic deployment.
+
+    ``suballocation_depth`` adds that many levels of sub-CA below every
+    customer — each level re-certifies the customer's allocation to the
+    customer's own AS and publishes its own ROAs, modelling the deep
+    provider-customer delegation chains of RFC 6480 Section 2.2.  The
+    default 0 leaves generated worlds byte-identical to earlier
+    revisions (the chain consumes no extra jurisdiction-RNG draws, so
+    country tags are unchanged for any depth).
+    """
 
     seed: int = 0
     rirs: tuple[RIR, ...] = tuple(RIR)
@@ -54,6 +63,7 @@ class DeploymentConfig:
     customers_per_isp: int = 2
     roas_per_isp: int = 2
     roas_per_customer: int = 1
+    suballocation_depth: int = 0
     cross_border_rate: float = 0.15
     key_bits: int = 512
 
@@ -88,11 +98,40 @@ class DeploymentWorld:
         return sum(len(a.issued_roas) for a in self.authorities())
 
 
-def build_deployment(config: DeploymentConfig = DeploymentConfig()) -> DeploymentWorld:
-    """Generate a deployment per *config*, reproducibly."""
+def expected_keypairs(config: DeploymentConfig) -> int:
+    """How many keypairs :func:`build_deployment` will consume for *config*.
+
+    One per trust anchor, one per CA certificate, one per ROA's embedded
+    EE certificate — counted ahead of time so a worker pool can generate
+    the whole sequence before the build starts pulling keys.
+    """
+    per_customer = 1 + config.roas_per_customer + config.suballocation_depth * (
+        1 + config.roas_per_customer
+    )
+    per_isp = (
+        1 + config.roas_per_isp + config.customers_per_isp * per_customer
+    )
+    return len(config.rirs) * (1 + config.isps_per_rir * per_isp)
+
+
+def build_deployment(
+    config: DeploymentConfig = DeploymentConfig(), *, workers: int = 0
+) -> DeploymentWorld:
+    """Generate a deployment per *config*, reproducibly.
+
+    With ``workers > 0`` the keypair sequence is pre-generated across a
+    :class:`~repro.parallel.WorkerPool` before the build consumes it —
+    every key derives from its own per-index RNG stream, so the world is
+    byte-identical to a serial build.
+    """
     rng = random.Random(config.seed)
     clock = Clock()
     key_factory = KeyFactory(seed=config.seed + 77000, bits=config.key_bits)
+    if workers > 0:
+        from ..parallel import WorkerPool, prefill_keys
+
+        with WorkerPool(workers) as pool:
+            prefill_keys(key_factory, expected_keypairs(config), pool)
     registry = RepositoryRegistry()
     world = DeploymentWorld(
         clock=clock, key_factory=key_factory, registry=registry
@@ -172,6 +211,29 @@ def build_deployment(config: DeploymentConfig = DeploymentConfig()) -> Deploymen
                     customer.issue_roa(
                         customer_asn, str(_nth(slash24s, roa_index))
                     )
+                # Deep delegation: each level re-certifies the customer's
+                # allocation to the customer's own AS (no extra country
+                # draws — depth must not perturb the jurisdiction RNG).
+                sub_prefixes = list(customer_alloc.subprefixes(24))
+                parent = customer
+                for level in range(1, config.suballocation_depth + 1):
+                    sub_sia = (
+                        f"rsync://{host}/repo/cust{customer_index}/"
+                        f"sub{level}/"
+                    )
+                    parent = parent.issue_child_authority(
+                        f"{handle}-cust-{customer_index}-sub-{level}",
+                        ResourceSet.parse(str(customer_alloc)),
+                        sia=sub_sia,
+                        publication_point=server.mount(sub_sia),
+                    )
+                    for roa_index in range(config.roas_per_customer):
+                        prefix_index = (
+                            config.roas_per_customer * level + roa_index
+                        ) % len(sub_prefixes)
+                        parent.issue_roa(
+                            customer_asn, str(sub_prefixes[prefix_index])
+                        )
     return world
 
 

@@ -1,0 +1,180 @@
+"""A context-managed ``multiprocessing`` pool with ordered batch dispatch.
+
+:class:`WorkerPool` is the only place in the package that creates OS
+processes, and it is strictly scope-bound: the pool exists between
+``__enter__`` and ``__exit__`` and nowhere else.  The telemetry lint
+(``tools/check_telemetry_names.py``) statically rejects module-level pool
+construction anywhere under ``src/repro`` — a pool that outlives its
+``with`` block leaks processes past the work that justified them.
+
+Determinism contract
+--------------------
+
+``map_batches(func, jobs)`` chunks *jobs* in submission order, dispatches
+the chunks through ``Pool.map`` (which returns results in submission
+order regardless of which worker ran what, and re-raises the first worker
+exception in the parent), and reassembles the flat result list.  Because
+every job is a pure function of its own fields, the output is equal for
+any worker count — including zero: with ``workers=0``, or when the
+requested start method is unavailable on the platform, the pool degrades
+to calling *func* in-process, same chunking, same ordering, no processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..simtime import Clock
+from ..telemetry import MetricsRegistry, default_registry
+
+__all__ = ["DEFAULT_CHUNK_JOBS", "WorkerPool"]
+
+# Jobs per dispatched chunk.  Large enough that pickling and IPC amortize
+# over many modular exponentiations, small enough that a typical refresh
+# still spreads across every worker.
+DEFAULT_CHUNK_JOBS = 256
+
+# Tried in order when no explicit start method is requested.  fork is the
+# cheapest by far (no interpreter re-exec, test-module functions pickle by
+# reference); the others keep the pool usable where fork is unavailable.
+_PREFERRED_START_METHODS = ("fork", "forkserver", "spawn")
+
+_J = TypeVar("_J")
+_R = TypeVar("_R")
+
+
+class WorkerPool:
+    """A fixed-size process pool, alive only inside its ``with`` block.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``0`` never forks: every batch runs
+        in-process (the serial fallback the rest of the package treats as
+        the semantic baseline).
+    chunk_jobs:
+        Jobs per dispatched chunk (see :data:`DEFAULT_CHUNK_JOBS`).
+    start_method:
+        Explicit ``multiprocessing`` start method.  ``None`` picks the
+        first available of :data:`_PREFERRED_START_METHODS`; a method the
+        platform does not offer triggers the serial fallback instead of
+        an error, so callers never need platform probes.
+    metrics / clock:
+        Registry for the pool-size gauge and batch-latency histogram, and
+        the simulated clock that times the latter (durations are
+        simulated seconds, like every trace in this repository).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        chunk_jobs: int = DEFAULT_CHUNK_JOBS,
+        start_method: str | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Clock | None = None,
+    ):
+        if workers < 0:
+            raise ValueError(f"worker count must be >= 0, got {workers}")
+        if chunk_jobs < 1:
+            raise ValueError(f"chunk size must be >= 1, got {chunk_jobs}")
+        self.workers = workers
+        self.chunk_jobs = chunk_jobs
+        self.start_method = start_method
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.clock = clock if clock is not None else Clock()
+        self._pool = None
+        self._entered = False
+        self._m_workers = self.metrics.gauge(
+            "repro_parallel_pool_workers",
+            help="worker processes of the currently open pool (0 = serial)",
+        )
+        self._m_batches = self.metrics.counter(
+            "repro_parallel_batches_total",
+            help="map_batches dispatches, by execution mode",
+            labelnames=("mode",),
+        )
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when an OS-process pool is actually open."""
+        return self._pool is not None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        self._entered = True
+        if self.workers > 0:
+            self._pool = self._open_pool()
+        self._m_workers.set(self.workers if self._pool is not None else 0)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._pool is not None:
+            if exc_type is None:
+                self._pool.close()
+            else:
+                self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._entered = False
+        self._m_workers.set(0)
+        return False
+
+    def _open_pool(self):
+        method = self.start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            for preferred in _PREFERRED_START_METHODS:
+                if preferred in available:
+                    method = preferred
+                    break
+        try:
+            context = multiprocessing.get_context(method)
+            return context.Pool(processes=self.workers)
+        except (ValueError, OSError):
+            # Unknown/unsupported start method, or the platform refused to
+            # spawn (sandboxes, resource limits): degrade to serial.
+            return None
+
+    # -- dispatch ------------------------------------------------------------
+
+    def map_batches(
+        self, func: Callable[[Sequence[_J]], Sequence[_R]], jobs: Iterable[_J]
+    ) -> list[_R]:
+        """Run ``func`` over chunks of *jobs*; results in submission order.
+
+        *func* receives one chunk (a tuple of jobs) and must return one
+        result per job, in order.  A worker exception propagates to the
+        caller exactly as it would in-process.  Chunk results are length-
+        checked before reassembly so an ill-behaved *func* fails loudly
+        instead of silently misaligning jobs and results.
+        """
+        if not self._entered:
+            raise RuntimeError("WorkerPool used outside its 'with' block")
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        chunks = [
+            tuple(jobs[i:i + self.chunk_jobs])
+            for i in range(0, len(jobs), self.chunk_jobs)
+        ]
+        mode = "pooled" if self._pool is not None else "serial"
+        with self.metrics.trace(
+            "repro_parallel_batch_seconds", self.clock, mode=mode
+        ):
+            if self._pool is not None:
+                chunk_results = self._pool.map(func, chunks)
+            else:
+                chunk_results = [func(chunk) for chunk in chunks]
+        self._m_batches.inc(mode=mode)
+        out: list[_R] = []
+        for chunk, result in zip(chunks, chunk_results):
+            if len(result) != len(chunk):
+                raise RuntimeError(
+                    f"batch function returned {len(result)} results "
+                    f"for {len(chunk)} jobs"
+                )
+            out.extend(result)
+        return out

@@ -123,6 +123,20 @@ class PathValidator:
         An :class:`~repro.rp.incremental.IncrementalState` to carry memos
         and per-point results across runs.  ``None`` (default) validates
         cold every time.
+    parallel:
+        A :class:`~repro.parallel.ParallelEngine` acting as the *reuse
+        provider* instead: run-scoped memos (prefilled by the engine's
+        pool pre-pass) plus same-instant point replay.  Mutually
+        exclusive with ``incremental`` — when both features are wanted,
+        the engine shares the incremental state's memos and this
+        validator sees only ``incremental`` (see
+        :class:`~repro.rp.RelyingParty`).
+
+    Both providers expose the same protocol (``verify_object`` /
+    ``parse`` / ``lookup`` / ``store`` / ``count_reused`` /
+    ``count_validated``); replayed and freshly computed points take the
+    identical code path, so any provider's output is byte-for-byte equal
+    to the cold run's.
     """
 
     def __init__(
@@ -132,12 +146,20 @@ class PathValidator:
         strict_manifests: bool = False,
         metrics: MetricsRegistry | None = None,
         incremental: IncrementalState | None = None,
+        parallel=None,
     ):
         if not trust_anchors:
             raise ValueError("at least one trust anchor is required")
+        if incremental is not None and parallel is not None:
+            raise ValueError(
+                "incremental and parallel are mutually exclusive; share the "
+                "incremental state's memos with the engine instead"
+            )
         self.trust_anchors = list(trust_anchors)
         self.strict_manifests = strict_manifests
         self.incremental = incremental
+        self.parallel = parallel
+        self._provider = incremental if incremental is not None else parallel
         self._verify_calls = 0
         self.metrics = metrics if metrics is not None else default_registry()
         self._m_runs = self.metrics.counter(
@@ -169,7 +191,7 @@ class PathValidator:
         of :meth:`repro.repository.LocalCache.digests`); used only in
         incremental mode, and computed from the bytes when absent.
         """
-        if self.incremental is not None and digests is None:
+        if self._provider is not None and digests is None:
             digests = {
                 uri: point_digest(files) for uri, files in cache_files.items()
             }
@@ -209,16 +231,16 @@ class PathValidator:
     # -- memo-aware primitives ----------------------------------------------
 
     def _verify(self, obj: SignedObject, key: RsaPublicKey) -> bool:
-        """Signature check, via the verification memo when attached."""
+        """Signature check, via the reuse provider's memo when attached."""
         self._verify_calls += 1
-        if self.incremental is not None:
-            return self.incremental.verify_object(obj, key)
+        if self._provider is not None:
+            return self._provider.verify_object(obj, key)
         return obj.verify_signature(key)
 
     def _parse(self, data: bytes) -> SignedObject:
-        """Parse, via the parse memo when attached."""
-        if self.incremental is not None:
-            return self.incremental.parse(data)
+        """Parse, via the reuse provider's memo when attached."""
+        if self._provider is not None:
+            return self._provider.parse(data)
         return parse_object(data)
 
     # -- internals ----------------------------------------------------------
@@ -244,20 +266,19 @@ class PathValidator:
             return  # loop guard (malicious self-recertification)
         seen_cas.add(ca_cert.subject_key_id)
 
+        provider = self._provider
         entry: PointResult | None = None
         fingerprint: tuple = ()
-        if self.incremental is not None:
+        if provider is not None:
             fingerprint = self._point_fingerprint(ca_cert, cache_files, digests)
-            entry = self.incremental.lookup(
-                ca_cert.subject_key_id, fingerprint, now
-            )
+            entry = provider.lookup(ca_cert.subject_key_id, fingerprint, now)
             if entry is not None:
-                self.incremental.count_reused(entry)
+                provider.count_reused(entry)
         if entry is None:
             entry = self._validate_point(ca_cert, cache_files, now, fingerprint)
-            if self.incremental is not None:
-                self.incremental.count_validated()
-                self.incremental.store(ca_cert.subject_key_id, entry)
+            if provider is not None:
+                provider.count_validated()
+                provider.store(ca_cert.subject_key_id, entry, now)
 
         # Apply the point's local outcome, then recurse into the subtree.
         # Replayed and freshly computed results take the identical path, so

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..parallel import ParallelEngine, WorkerPool
 from ..repository.cache import CacheFreshness, LocalCache
 from ..repository.fetch import Fetcher, FetchResult
 from ..repository.uri import RsyncUri
@@ -99,6 +100,19 @@ class RelyingParty:
         :mod:`repro.rp.incremental` for the exact invalidation rules).
         Validation *results* are identical either way; only the work done
         to produce them changes.  Default False.
+    workers:
+        If > 0, each refresh opens a :class:`~repro.parallel.WorkerPool`
+        of that many processes and a
+        :class:`~repro.parallel.ParallelEngine` batch-verifies signatures
+        through it ahead of every validation pass, deduplicated through
+        the content-addressed memo; within the refresh, publication
+        points already validated at the same instant are replayed instead
+        of recomputed.  The resulting :class:`ValidationRun` is equal to
+        the serial path's for any worker count — on platforms without a
+        usable ``multiprocessing`` start method the pool degrades to
+        in-process execution with the same semantics.  Composes with
+        ``incremental`` (the engine shares the incremental state's
+        memos).  Default 0: the serial path, untouched.
     metrics:
         Telemetry registry shared with this RP's cache and validator
         (None → the process-global default registry).  Give each relying
@@ -116,21 +130,37 @@ class RelyingParty:
         fetch_budget: int | None = None,
         strict_manifests: bool = False,
         incremental: bool = False,
+        workers: int = 0,
         metrics: MetricsRegistry | None = None,
     ):
         if fetch_budget is not None and fetch_budget < 1:
             raise ValueError(f"bad fetch budget {fetch_budget}")
+        if workers < 0:
+            raise ValueError(f"worker count must be >= 0, got {workers}")
         self.fetcher = fetcher
         self.fetch_budget = fetch_budget
+        self.workers = workers
         self.metrics = metrics if metrics is not None else default_registry()
         self.cache = LocalCache(keep_stale=keep_stale, stale_grace=stale_grace,
                                 metrics=self.metrics)
         self.incremental_state = (
             IncrementalState(metrics=self.metrics) if incremental else None
         )
+        # With both features on, the engine prefills the incremental
+        # state's memos and the validator keeps the incremental provider;
+        # engine-alone additionally provides run-scoped point replay.
+        self._engine = (
+            ParallelEngine(self.incremental_state, metrics=self.metrics)
+            if workers > 0 else None
+        )
         self.validator = PathValidator(
             trust_anchors, strict_manifests=strict_manifests,
             metrics=self.metrics, incremental=self.incremental_state,
+            parallel=(
+                self._engine
+                if self._engine is not None and self.incremental_state is None
+                else None
+            ),
         )
         self._clock = clock if clock is not None else fetcher.clock
         self._last_run: ValidationRun | None = None
@@ -159,6 +189,17 @@ class RelyingParty:
 
     def refresh(self) -> RefreshReport:
         """One full synchronize-and-validate cycle."""
+        if self._engine is None:
+            return self._refresh()
+        with WorkerPool(self.workers, metrics=self.metrics,
+                        clock=self._clock) as pool:
+            self._engine.begin_refresh(pool)
+            try:
+                return self._refresh()
+            finally:
+                self._engine.end_refresh()
+
+    def _refresh(self) -> RefreshReport:
         report = RefreshReport(run=ValidationRun())
         fetched: set[str] = set()
         pending = {
@@ -210,12 +251,15 @@ class RelyingParty:
     def _validate(self) -> ValidationRun:
         """One validation pass over the current cache snapshot."""
         now = self._clock.now
+        files = self.cache.all_files(now)
+        if self._engine is not None:
+            self._engine.precompute(self.validator.trust_anchors, files)
         digests = (
-            self.cache.digests(now) if self.incremental_state is not None
+            self.cache.digests(now)
+            if self.incremental_state is not None or self._engine is not None
             else None
         )
-        return self.validator.run(self.cache.all_files(now), now,
-                                  digests=digests)
+        return self.validator.run(files, now, digests=digests)
 
     # -- classification surface -------------------------------------------------
 

@@ -1,8 +1,10 @@
 """Tier-1 hook for the telemetry lint (tools/check_telemetry_names.py).
 
 Fails the test suite if any module under ``src/repro`` registers a metric
-whose name breaks the ``repro_``/snake_case rule, or reads the wall clock
-(``time.time()`` and friends) instead of the simulated Clock.
+whose name breaks the ``repro_``/snake_case rule, reads the wall clock
+(``time.time()`` and friends) instead of the simulated Clock, or
+constructs a worker pool at module scope instead of context-managing it
+inside a function.
 """
 
 import pathlib
@@ -53,5 +55,35 @@ def test_lint_accepts_clean_module(tmp_path):
         "registry.counter('repro_fetch_total')\n"
         "with registry.trace('repro_x_seconds', clock):\n"
         "    pass\n"
+    )
+    assert check_telemetry_names.check_file(good) == []
+
+
+def test_lint_catches_module_level_pool(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import multiprocessing\n"
+        "_POOL = multiprocessing.Pool(4)\n"
+    )
+    problems = check_telemetry_names.check_file(bad)
+    assert len(problems) == 1 and "module-level pool" in problems[0]
+
+
+def test_lint_catches_class_scope_pool(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "class Engine:\n"
+        "    pool = WorkerPool(2)\n"
+    )
+    problems = check_telemetry_names.check_file(bad)
+    assert len(problems) == 1 and "WorkerPool" in problems[0]
+
+
+def test_lint_accepts_function_scoped_pool(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(
+        "def run(jobs):\n"
+        "    with WorkerPool(2) as pool:\n"
+        "        return pool.map_batches(verify_batch, jobs)\n"
     )
     assert check_telemetry_names.check_file(good) == []

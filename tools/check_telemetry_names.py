@@ -19,6 +19,13 @@ Statically checks every module under ``src/repro``:
    identical runs would render different telemetry.  (Benchmarks and
    tests may use wall clocks; this lint only covers ``src/repro``.)
 
+3. **No module-level pools.**  Worker pools (``WorkerPool``,
+   ``multiprocessing.Pool``, ``concurrent.futures`` executors) must be
+   context-managed inside a function, never constructed at module import
+   time — a module-level pool forks on import, leaks processes into
+   every importer, and breaks the worker-isolation guarantee of
+   :mod:`repro.parallel`.
+
 Run directly (``python tools/check_telemetry_names.py``, exit 1 on
 problems) or via the tier-1 test ``tests/test_telemetry_lint.py``.
 """
@@ -37,6 +44,10 @@ METRIC_FACTORIES = {"counter", "gauge", "histogram", "trace"}
 FACTORY_SUFFIXES = {"counter": "_total", "trace": "_seconds"}
 WALL_CLOCK_CALLS = {"time", "perf_counter", "monotonic", "monotonic_ns",
                     "perf_counter_ns", "time_ns"}
+# Pool constructors that must never run at module import time.
+POOL_FACTORIES = {"Pool", "ThreadPool", "WorkerPool",
+                  "ProcessPoolExecutor", "ThreadPoolExecutor"}
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
@@ -95,7 +106,33 @@ def check_file(path: pathlib.Path) -> list[str]:
                 f"time.{node.func.attr}() — use the simulated Clock "
                 "(repro.simtime) so telemetry stays deterministic"
             )
+    for node in _module_level_calls(tree):
+        name = _call_name(node)
+        if name in POOL_FACTORIES:
+            problems.append(
+                f"{rel}:{node.lineno}: module-level pool {name}(...) — "
+                "pools must be context-managed inside a function, never "
+                "constructed at import time"
+            )
     return problems
+
+
+def _module_level_calls(tree: ast.Module):
+    """Every Call node that executes at module import time.
+
+    Walks the tree but never descends into function or lambda bodies:
+    a pool constructed inside a (context-managed) function is fine; the
+    same call at class or module scope runs on import and is not.
+    """
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            stack.append(child)
 
 
 def check_tree(root: pathlib.Path = SRC_ROOT) -> list[str]:
