@@ -15,6 +15,7 @@ Layering (import order is strictly bottom-up)::
                         \\- parallel (worker pools; used by rp and modelgen)
                                    \\------------ core / monitor / jurisdiction
                                                   modelgen (fixtures & generators)
+                                                  chaos (fault campaigns over all of it)
 
 **This module is the stable public API.**  Everything re-exported here —
 the names in ``__all__`` — is the documented entry point::
@@ -36,6 +37,16 @@ See DESIGN.md for the full system inventory and the experiment index that
 maps every figure and table of the paper to a benchmark.
 """
 
+from .chaos import (
+    CampaignConfig,
+    CampaignResult,
+    FaultPlan,
+    PlannedFault,
+    Violation,
+    build_plan,
+    run_campaign,
+    shrink_plan,
+)
 from .core import (
     ClosedLoopSimulation,
     collateral_of_revocation,
@@ -69,6 +80,7 @@ from .monitor import (
     take_snapshot,
 )
 from .repository import (
+    BYZANTINE_KINDS,
     PERSISTENT,
     BreakerPolicy,
     BreakerState,
@@ -86,10 +98,12 @@ from .repository import (
     RetryPolicy,
     RsyncUri,
     always_reachable,
+    nested_bomb,
 )
 from .resources import ASN, Afi, Prefix, PrefixTrie, ResourceSet
 from .rp import (
     VRP,
+    DegradationReport,
     IncrementalState,
     PathValidator,
     RefreshReport,
@@ -115,7 +129,7 @@ from .telemetry import (
     trace,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -131,16 +145,17 @@ __all__ = [
     # rpki objects & authorities
     "CertificateAuthority", "ResourceCertificate", "Roa",
     # repositories & delivery
-    "FaultInjector", "FaultKind", "FetchResult", "FetchStatus", "Fetcher",
-    "LocalCache", "PERSISTENT", "RepositoryRegistry", "RepositoryServer",
-    "RsyncUri", "always_reachable",
+    "BYZANTINE_KINDS", "FaultInjector", "FaultKind", "FetchResult",
+    "FetchStatus", "Fetcher", "LocalCache", "PERSISTENT",
+    "RepositoryRegistry", "RepositoryServer", "RsyncUri", "always_reachable",
+    "nested_bomb",
     # delivery resilience (retry/backoff, breakers, stale-cache grace)
     "BreakerPolicy", "BreakerState", "CacheFreshness", "CircuitBreaker",
     "ResilienceConfig", "RetryPolicy",
     # relying party
-    "IncrementalState", "PathValidator", "RefreshReport", "RelyingParty",
-    "Route", "RouteValidity", "SuspendersRelyingParty", "VRP",
-    "ValidationRun", "VrpSet", "classify",
+    "DegradationReport", "IncrementalState", "PathValidator",
+    "RefreshReport", "RelyingParty", "Route", "RouteValidity",
+    "SuspendersRelyingParty", "VRP", "ValidationRun", "VrpSet", "classify",
     # parallel validation engine
     "ParallelEngine", "WorkerPool", "prefill_keys",
     # rtr
@@ -157,4 +172,7 @@ __all__ = [
     "StallDetector", "analyze", "diff_snapshots", "take_snapshot",
     # jurisdiction
     "cross_border_audit", "render_table4",
+    # chaos campaigns
+    "CampaignConfig", "CampaignResult", "FaultPlan", "PlannedFault",
+    "Violation", "build_plan", "run_campaign", "shrink_plan",
 ]

@@ -1,0 +1,42 @@
+"""Chaos campaigns: Byzantine faults, containment invariants, shrinking.
+
+The adversarial counterpart of the validation stack.  ``repro.chaos``
+composes the delivery-layer fault injector's full menu — timing faults,
+byte corruption, and the Byzantine authority behaviors of the
+misbehaving-RPKI-authorities threat model — into seeded, re-executable
+campaigns over generated deployments, and checks on every refresh cycle
+that the relying parties uphold their robustness contract:
+
+- **safety**: a faulted relying party never validates a VRP the clean
+  one would not (faults subtract, never invent);
+- **equivalence**: serial, incremental, and parallel engines agree
+  exactly under an identical fault stream, as does an attached RTR
+  router after resync;
+- **no-crash**: no fault, however malformed, escapes containment as an
+  unhandled exception.
+
+When an invariant breaks, :func:`shrink_plan` re-executes reduced fault
+plans (everything is a pure function of seed + plan) until it finds a
+minimal reproducer.  Entry point: ``python -m repro chaos``.
+"""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    Violation,
+    run_campaign,
+    shrink_plan,
+)
+from .plan import FAULT_MENU, FaultPlan, PlannedFault, build_plan
+
+__all__ = [
+    "FAULT_MENU",
+    "CampaignConfig",
+    "CampaignResult",
+    "FaultPlan",
+    "PlannedFault",
+    "Violation",
+    "build_plan",
+    "run_campaign",
+    "shrink_plan",
+]

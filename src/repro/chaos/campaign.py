@@ -1,0 +1,463 @@
+"""The chaos-campaign runner: randomized fault plans, checked invariants.
+
+One campaign builds **four identically seeded worlds** — the same trick
+``repro.cli``'s perf command uses for its parallel comparison — and runs
+them in clock lockstep for N refresh cycles:
+
+- *clean*: no faults at all; the ground truth.
+- *serial*, *incremental*, *parallel*: one relying party each, all three
+  fed the **identical** seeded fault plan through their own
+  :class:`~repro.repository.faults.FaultInjector` (same seed, same fetch
+  order, therefore the same fault stream).
+
+An RTR cache + router pair rides on the serial variant, with its own
+chaos: garbage bytes mid-session and abrupt channel closes.
+
+After every cycle three invariants are checked:
+
+- **safety** — each faulted variant's VRP set is a subset of the clean
+  run's: faults may *remove* validated origins, never invent them.
+- **equivalence** — serial, incremental, and parallel RPs agree exactly
+  under the identical fault plan, and the attached router's table matches
+  after resync.
+- **no-crash** — nothing anywhere raises out of the cycle: a violation
+  of the containment contract is an unhandled exception here.
+
+On violation the campaign stops and :func:`shrink_plan` delta-debugs the
+fault plan down to a minimal reproducer by re-running reduced plans from
+scratch (everything is a pure function of seed + plan, so re-execution is
+exact).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..jurisdiction.regions import RIR
+from ..modelgen import DeploymentConfig, build_deployment
+from ..repository import Fetcher, FaultInjector
+from ..repository.uri import RsyncUri
+from ..rp import RelyingParty
+from ..rtr import DuplexPipe, RouterState, RtrCacheServer, RtrRouterClient
+from ..telemetry import MetricsRegistry
+from .plan import FaultPlan, PlannedFault, build_plan
+from ..repository.faults import FaultKind
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "Violation",
+    "run_campaign",
+    "shrink_plan",
+]
+
+# The three faulted execution strategies compared against clean.
+_VARIANTS = ("serial", "incremental", "parallel")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Shape of one campaign: world size, cycle count, chaos knobs."""
+
+    seed: int = 7
+    cycles: int = 20
+    gap_seconds: int = 900       # simulated time between cycles
+    attempt_timeout: int = 600   # fetcher deadline (bounds STALL cost)
+    workers: int = 1             # pool size of the parallel variant
+    rir_count: int = 2           # breadth of the generated deployment
+    isps_per_rir: int = 1
+    customers_per_isp: int = 1
+    plant_violation: bool = False  # stage the stealthy-delete + replay demo
+
+    def deployment(self) -> DeploymentConfig:
+        return DeploymentConfig(
+            seed=self.seed,
+            rirs=tuple(RIR)[: max(1, self.rir_count)],
+            isps_per_rir=self.isps_per_rir,
+            customers_per_isp=self.customers_per_isp,
+            roas_per_isp=1,
+            roas_per_customer=1,
+        )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant broken at one cycle."""
+
+    cycle: int
+    invariant: str  # "safety" | "equivalence" | "no-crash"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"cycle {self.cycle}: {self.invariant}: {self.detail}"
+
+
+@dataclass
+class CampaignResult:
+    """What one campaign execution did and found."""
+
+    plan: FaultPlan
+    cycles_run: int = 0
+    violation: Violation | None = None
+    faults_fired: int = 0
+    quarantined_objects: int = 0
+    degraded_points: int = 0
+    rtr_events: int = 0
+    clean_vrps: int = 0
+    metrics: MetricsRegistry | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+class _Variant:
+    """One relying party (plus optional fault injector) over one world."""
+
+    def __init__(self, name: str, world, config: CampaignConfig,
+                 *, faulted: bool):
+        self.name = name
+        self.world = world
+        self.metrics = MetricsRegistry()
+        self.faults = (
+            FaultInjector(seed=config.seed) if faulted else None
+        )
+        fetcher = Fetcher(
+            world.registry, world.clock,
+            faults=self.faults,
+            attempt_timeout=config.attempt_timeout,
+            metrics=self.metrics,
+            identity=f"chaos-{'faulted' if faulted else 'clean'}",
+        )
+        self.rp = RelyingParty(
+            world.trust_anchors, fetcher,
+            incremental=(name == "incremental"),
+            workers=(config.workers if name == "parallel" else 0),
+            metrics=self.metrics,
+        )
+
+    def vrp_set(self) -> frozenset:
+        return self.rp.vrps.as_frozenset()
+
+
+class _Campaign:
+    """Mutable state of one campaign execution."""
+
+    def __init__(self, config: CampaignConfig, plan: FaultPlan | None):
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self._m_cycles = self.metrics.counter(
+            "repro_chaos_cycles_total", help="campaign cycles completed"
+        )
+        self._m_scheduled = self.metrics.counter(
+            "repro_chaos_faults_scheduled_total",
+            help="planned faults scheduled onto injectors, by kind",
+            labelnames=("kind",),
+        )
+        self._m_rtr_events = self.metrics.counter(
+            "repro_chaos_rtr_events_total",
+            help="RTR chaos events injected, by kind",
+            labelnames=("kind",),
+        )
+        self._m_violations = self.metrics.counter(
+            "repro_chaos_violations_total",
+            help="invariant violations detected, by invariant",
+            labelnames=("invariant",),
+        )
+
+        deployment = config.deployment()
+        self.clean = _Variant(
+            "clean", build_deployment(deployment), config, faulted=False
+        )
+        self.faulted = [
+            _Variant(name, build_deployment(deployment), config, faulted=True)
+            for name in _VARIANTS
+        ]
+        self.worlds = [self.clean.world] + [v.world for v in self.faulted]
+
+        points = sorted(
+            _normalize(ca.sia)
+            for ca in self.clean.world.authorities()
+            if ca.sia
+        )
+        self.plant_cycle: int | None = None
+        self.plant_handle = ""
+        self.plant_roa = ""
+        if config.plant_violation:
+            target = next(
+                ca for ca in self.clean.world.authorities() if ca.issued_roas
+            )
+            self.plant_cycle = max(1, config.cycles // 2)
+            self.plant_handle = target.handle
+            self.plant_roa = sorted(target.issued_roas)[0]
+        if plan is None:
+            plan = build_plan(config.seed, config.cycles, points)
+            if self.plant_cycle is not None:
+                # The staged misbehavior: a persistent stale-but-signed
+                # replay pinning the pre-deletion state of the target CA.
+                target = self.clean.world.authorities()
+                target_ca = next(
+                    ca for ca in target if ca.handle == self.plant_handle
+                )
+                plan = plan.with_faults([PlannedFault(
+                    cycle=self.plant_cycle,
+                    kind=FaultKind.MANIFEST_REPLAY,
+                    point_uri=_normalize(target_ca.sia),
+                    persistent=True,
+                )])
+        self.plan = plan
+
+        # Renewal rotation fixed at campaign start, so churn is identical
+        # across executions regardless of the (possibly shrunk) plan.
+        self.renewables = [
+            (ca.handle, sorted(ca.issued_roas)[0])
+            for ca in self.clean.world.authorities()
+            if ca.issued_roas
+        ]
+
+        # RTR rides on the serial variant.
+        self.server = RtrCacheServer(
+            metrics=self.faulted[0].metrics
+        )
+        self.pipe: DuplexPipe | None = None
+        self.router: RtrRouterClient | None = None
+        self.rtr_rng = random.Random(config.seed ^ 0x52545221)
+        self._attach_router()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _attach_router(self) -> None:
+        self.pipe = DuplexPipe()
+        self.server.attach(self.pipe)
+        self.router = RtrRouterClient(self.pipe)
+        self.router.connect()
+        self.server.process()
+        self.router.process()
+
+    def _advance_clocks(self) -> None:
+        target = max(w.clock.now for w in self.worlds) + self.config.gap_seconds
+        for world in self.worlds:
+            world.clock.at_least(target)
+
+    def _authority(self, world, handle: str):
+        for ca in world.authorities():
+            if ca.handle == handle:
+                return ca
+        return None
+
+    def _churn(self, cycle: int) -> None:
+        """Additive-only repository churn, identical in every world.
+
+        Renewals keep checkpoints moving (feeding the replay faults);
+        the occasional brand-new ROA grows the clean VRP set so the
+        safety invariant is tested against a moving target.  Nothing is
+        ever deleted or revoked here — removal is exclusively the staged
+        violation's job.
+        """
+        rng = random.Random((self.config.seed << 16) ^ cycle)
+        handle, roa_name = self.renewables[cycle % len(self.renewables)]
+        for world in self.worlds:
+            ca = self._authority(world, handle)
+            if ca is not None and roa_name in ca.issued_roas:
+                ca.renew_roa(roa_name)
+        if cycle % 4 == 2:
+            donor_handle, donor_roa = self.renewables[
+                rng.randrange(len(self.renewables))
+            ]
+            asn = 64512 + cycle
+            for world in self.worlds:
+                ca = self._authority(world, donor_handle)
+                if ca is None or donor_roa not in ca.issued_roas:
+                    continue
+                prefix = ca.issued_roas[donor_roa].prefixes[0].prefix
+                ca.issue_roa(asn, str(prefix), name=f"chaos-{cycle}.roa")
+
+    def _plant(self, cycle: int) -> None:
+        if self.plant_cycle is None or cycle != self.plant_cycle:
+            return
+        # The stealthy deletion of the paper's Side Effect 2, staged in
+        # every world: no CRL entry, manifest updated.  Clean sees the
+        # ROA vanish; a replayed point resurrects it.
+        for world in self.worlds:
+            ca = self._authority(world, self.plant_handle)
+            if ca is not None and self.plant_roa in ca.issued_roas:
+                ca.delete_object(self.plant_roa)
+
+    def _schedule(self, cycle: int) -> None:
+        active = self.plan.active_at(cycle)
+        for variant in self.faulted:
+            variant.faults.clear()
+            for planned in active:
+                planned.schedule_on(variant.faults)
+        for planned in active:
+            self._m_scheduled.inc(kind=planned.kind.value)
+
+    def _rtr_cycle(self, result: CampaignResult) -> None:
+        """Sync the router, with seeded session-level chaos."""
+        if self.rtr_rng.random() < 0.25 and not self.pipe.closed:
+            # Malformed bytes from the "router": the cache must answer
+            # with an Error Report and drop the session, never raise.
+            self.pipe.to_cache.send(b"\x99\x00\x00\x07chaos!")
+            self.server.process()
+            self.router.process()
+            self._m_rtr_events.inc(kind="garbage")
+            result.rtr_events += 1
+            self._attach_router()
+        if self.rtr_rng.random() < 0.15:
+            self.pipe.close()
+            self.server.process()
+            self._m_rtr_events.inc(kind="close")
+            result.rtr_events += 1
+            self._attach_router()
+        if self.router.state is RouterState.FAILED or self.pipe.closed:
+            self._attach_router()
+        self.server.update(self.faulted[0].rp.vrps)
+        self.router.process()   # Serial Notify -> router polls
+        self.server.process()   # answer the Serial Query
+        self.router.process()   # apply the delta
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        result = CampaignResult(plan=self.plan, metrics=self.metrics)
+        for cycle in range(self.config.cycles):
+            violation = self._cycle(cycle, result)
+            result.cycles_run = cycle + 1
+            self._m_cycles.inc()
+            if violation is not None:
+                result.violation = violation
+                self._m_violations.inc(invariant=violation.invariant)
+                break
+        result.clean_vrps = len(self.clean.rp.vrps)
+        for variant in self.faulted:
+            result.faults_fired += (
+                len(variant.faults.applied) + variant.faults.applied_dropped
+            )
+        return result
+
+    def _cycle(self, cycle: int, result: CampaignResult) -> Violation | None:
+        try:
+            self._advance_clocks()
+            self._churn(cycle)
+            self._plant(cycle)
+            self._schedule(cycle)
+            reports = {}
+            reports["clean"] = self.clean.rp.refresh()
+            for variant in self.faulted:
+                reports[variant.name] = variant.rp.refresh()
+            serial = self.faulted[0]
+            result.quarantined_objects += len(
+                reports["serial"].degradation.quarantined_objects
+            )
+            result.degraded_points += len(
+                reports["serial"].degradation.degraded_points
+            )
+            self._rtr_cycle(result)
+        except Exception as exc:  # the no-crash invariant itself
+            return Violation(
+                cycle, "no-crash", f"{type(exc).__name__}: {exc}"
+            )
+
+        clean_set = self.clean.vrp_set()
+        for variant in self.faulted:
+            extras = variant.vrp_set() - clean_set
+            if extras:
+                shown = ", ".join(str(v) for v in sorted(extras)[:3])
+                return Violation(
+                    cycle, "safety",
+                    f"{variant.name} RP accepted {len(extras)} VRP(s) the "
+                    f"clean run never produced: {shown}",
+                )
+        serial_set = serial.vrp_set()
+        for variant in self.faulted[1:]:
+            if variant.vrp_set() != serial_set:
+                return Violation(
+                    cycle, "equivalence",
+                    f"{variant.name} RP diverged from serial under the "
+                    f"identical fault plan "
+                    f"({len(variant.vrp_set())} vs {len(serial_set)} VRPs)",
+                )
+        router_set = self.router.vrp_set().as_frozenset()
+        if router_set != serial_set:
+            return Violation(
+                cycle, "equivalence",
+                f"router table diverged from its cache after resync "
+                f"({len(router_set)} vs {len(serial_set)} VRPs)",
+            )
+        return None
+
+
+def run_campaign(
+    config: CampaignConfig, plan: FaultPlan | None = None
+) -> CampaignResult:
+    """Execute one campaign; pure function of ``(config, plan)``.
+
+    With ``plan=None`` the plan is built from the config's seed (plus the
+    staged replay fault when ``plant_violation`` is set).  Passing an
+    explicit plan re-executes exactly that plan — the shrinker's loop.
+    """
+    return _Campaign(config, plan).run()
+
+
+def shrink_plan(
+    config: CampaignConfig,
+    plan: FaultPlan,
+    *,
+    max_runs: int = 200,
+) -> tuple[FaultPlan, int]:
+    """Delta-debug *plan* to a minimal still-violating reproducer.
+
+    Returns ``(minimal plan, campaigns executed)``.  Strategy: confirm
+    the violation, drop everything scheduled after the violating cycle,
+    try each fault alone, then greedily remove entries one at a time
+    until no single removal still violates.
+    """
+    runs = 0
+
+    def violates(candidate: FaultPlan) -> bool:
+        nonlocal runs
+        runs += 1
+        return run_campaign(config, candidate).violation is not None
+
+    baseline = run_campaign(config, plan)
+    runs += 1
+    if baseline.violation is None:
+        raise ValueError("plan does not violate; nothing to shrink")
+
+    best = plan
+    truncated = FaultPlan(
+        seed=plan.seed, cycles=plan.cycles,
+        faults=tuple(
+            f for f in plan.faults if f.cycle <= baseline.violation.cycle
+        ),
+    )
+    if len(truncated) < len(best) and violates(truncated):
+        best = truncated
+
+    for index in range(len(best.faults)):
+        if runs >= max_runs:
+            return best, runs
+        single = FaultPlan(
+            seed=best.seed, cycles=best.cycles,
+            faults=(best.faults[index],),
+        )
+        if len(best) > 1 and violates(single):
+            return single, runs
+
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for index in range(len(best.faults)):
+            if runs >= max_runs:
+                break
+            candidate = best.without(index)
+            if violates(candidate):
+                best = candidate
+                improved = True
+                break
+    return best, runs
+
+
+def _normalize(sia: str) -> str:
+    return str(RsyncUri.parse(sia))

@@ -15,6 +15,7 @@
     python -m repro resilience      # stalled authority vs. resilient fetcher
     python -m repro perf            # cold vs. warm incremental revalidation
     python -m repro refresh         # one refresh cycle, optionally parallel
+    python -m repro chaos           # Byzantine fault campaign + shrink demo
     python -m repro all             # everything, in order
 
 Every command is deterministic (fixed seeds) and prints a self-contained
@@ -490,6 +491,47 @@ def cmd_perf(args) -> None:
               "match every epoch.")
 
 
+def cmd_chaos(args) -> None:
+    from .chaos import CampaignConfig, run_campaign, shrink_plan
+
+    config = CampaignConfig(seed=args.seed, cycles=args.cycles)
+    print(f"Chaos campaign: seed {config.seed}, {config.cycles} cycles — "
+          "serial vs incremental vs\nparallel relying parties plus an RTR "
+          "router, under one seeded fault plan\n")
+    result = run_campaign(config)
+    print(f"fault plan ({len(result.plan)} faults):")
+    print(result.plan.describe())
+    print()
+    print(f"cycles completed: {result.cycles_run}/{config.cycles}")
+    print(f"faults fired: {result.faults_fired}  "
+          f"objects quarantined: {result.quarantined_objects}  "
+          f"points degraded: {result.degraded_points}  "
+          f"rtr chaos events: {result.rtr_events}")
+    print(f"clean VRPs at end: {result.clean_vrps}")
+    if result.violation is None:
+        print("invariants: safety, equivalence, no-crash — held every cycle")
+    else:
+        print(f"INVARIANT VIOLATION: {result.violation}")
+
+    print()
+    print("== staged misbehavior: stealthy delete + persistent manifest "
+          "replay ==")
+    demo = CampaignConfig(
+        seed=config.seed + 4,
+        cycles=min(config.cycles, 6),
+        plant_violation=True,
+    )
+    staged = run_campaign(demo)
+    if staged.violation is None:
+        print("(the staged violation did not reproduce at this seed)")
+        return
+    print(f"detected -> {staged.violation}")
+    minimal, runs = shrink_plan(demo, staged.plan)
+    print(f"shrunk the {len(staged.plan)}-fault plan to {len(minimal)} "
+          f"fault(s) in {runs} campaign re-runs:")
+    print(minimal.describe())
+
+
 def cmd_sideeffects(_args) -> None:
     from .core import demonstrate_all
 
@@ -524,6 +566,7 @@ _COMMANDS: dict[str, Callable] = {
     "resilience": cmd_resilience,
     "perf": cmd_perf,
     "refresh": cmd_refresh,
+    "chaos": cmd_chaos,
     "all": cmd_all,
 }
 
@@ -577,6 +620,15 @@ def build_parser() -> argparse.ArgumentParser:
                 default="medium",
                 help="deployment size for the refresh cycle",
             )
+        if name in ("chaos", "all"):
+            sub.add_argument(
+                "--seed", type=int, default=7,
+                help="campaign seed (fault plan, churn, RTR chaos)",
+            )
+            sub.add_argument(
+                "--cycles", type=int, default=20,
+                help="refresh cycles to run in the chaos campaign",
+            )
     return parser
 
 
@@ -608,6 +660,10 @@ def main(argv: list[str] | None = None) -> int:
         args.workers = 0
     if not hasattr(args, "scale"):
         args.scale = "medium"
+    if not hasattr(args, "seed"):
+        args.seed = 7
+    if not hasattr(args, "cycles"):
+        args.cycles = 20
     try:
         _COMMANDS[args.command](args)
         if args.json:

@@ -6,7 +6,13 @@ out: take global snapshots, diff them, classify the churn, and score the
 classifier against injected whack campaigns.
 """
 
-from .alerts import Alert, AlertKind, analyze
+from .alerts import (
+    Alert,
+    AlertKind,
+    analyze,
+    detect_equivocation,
+    detect_manifest_replay,
+)
 from .churn import ChurnConfig, ChurnEngine, ChurnEvent
 from .diff import CertChange, RoaChange, SnapshotDiff, diff_snapshots
 from .experiment import DetectionExperiment, DetectionScore, EpochAlerts
@@ -30,6 +36,8 @@ __all__ = [
     "StallConfig",
     "StallDetector",
     "analyze",
+    "detect_equivocation",
+    "detect_manifest_replay",
     "diff_snapshots",
     "take_snapshot",
 ]

@@ -23,6 +23,14 @@ alert                      signature
                            the Stalloris availability-attack fingerprint,
                            raised by :class:`repro.monitor.stall.StallDetector`
                            rather than by :func:`analyze`.
+``EQUIVOCATION``           the same publication point served different
+                           content to different fetchers in the same epoch
+                           — the split-view Byzantine fault, raised by
+                           :func:`detect_equivocation` over vantage views.
+``MANIFEST_REPLAY``        a point's manifest ``thisUpdate`` moved backwards
+                           between snapshots — a stale-but-signed past state
+                           is being served, raised by
+                           :func:`detect_manifest_replay`.
 =========================  ====================================================
 
 "Distinguishing between abusive behavior and normal RPKI churn could be
@@ -36,11 +44,18 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from ..rpki import Roa
+from ..repository.cache import point_digest
+from ..rpki import Manifest, Roa
 from .diff import SnapshotDiff
 from .snapshot import RpkiSnapshot
 
-__all__ = ["AlertKind", "Alert", "analyze"]
+__all__ = [
+    "AlertKind",
+    "Alert",
+    "analyze",
+    "detect_equivocation",
+    "detect_manifest_replay",
+]
 
 
 class AlertKind(enum.Enum):
@@ -50,6 +65,8 @@ class AlertKind(enum.Enum):
     SUSPICIOUS_REISSUE = "suspicious-reissue"
     RENEWAL = "renewal"
     SUSTAINED_STALL = "sustained-stall"
+    EQUIVOCATION = "equivocation"
+    MANIFEST_REPLAY = "manifest-replay"
 
 
 _SEVERITY = {
@@ -59,6 +76,8 @@ _SEVERITY = {
     AlertKind.SUSPICIOUS_REISSUE: "critical",
     AlertKind.RENEWAL: "info",
     AlertKind.SUSTAINED_STALL: "critical",
+    AlertKind.EQUIVOCATION: "critical",
+    AlertKind.MANIFEST_REPLAY: "critical",
 }
 
 
@@ -82,6 +101,8 @@ class Alert:
             AlertKind.RC_SHRUNK,
             AlertKind.SUSPICIOUS_REISSUE,
             AlertKind.SUSTAINED_STALL,
+            AlertKind.EQUIVOCATION,
+            AlertKind.MANIFEST_REPLAY,
         )
 
     def __str__(self) -> str:
@@ -220,4 +241,68 @@ def analyze(
                 "ROA reissued at a different publication point while the "
                 f"original (at {', '.join(sorted(previous_holders))}) was whacked",
             ))
+    return alerts
+
+
+def detect_equivocation(
+    views: dict[str, dict[str, dict[str, bytes]]],
+) -> list[Alert]:
+    """Cross-check per-vantage fetches for split-view serving.
+
+    *views* maps fetcher identity → (point URI → file name → bytes): the
+    contents each vantage point saw when syncing in the same epoch.  An
+    honest publication point shows every fetcher the same bytes; a point
+    whose content digest differs across identities is equivocating — the
+    :data:`~repro.repository.faults.FaultKind.SPLIT_VIEW` Byzantine fault
+    no single relying party can notice on its own.
+    """
+    digests: dict[str, dict[str, str]] = {}  # point -> identity -> digest
+    for identity, points in views.items():
+        for point_uri, files in points.items():
+            digests.setdefault(point_uri, {})[identity] = point_digest(files)
+    alerts: list[Alert] = []
+    for point_uri in sorted(digests):
+        seen = digests[point_uri]
+        if len(set(seen.values())) <= 1:
+            continue
+        groups: dict[str, list[str]] = {}
+        for identity, digest in seen.items():
+            groups.setdefault(digest, []).append(identity)
+        description = "; ".join(
+            f"{digest[:12]}… seen by {', '.join(sorted(ids))}"
+            for digest, ids in sorted(groups.items())
+        )
+        alerts.append(Alert(
+            AlertKind.EQUIVOCATION, point_uri, point_uri,
+            f"point served {len(groups)} distinct views in one epoch: "
+            f"{description}",
+        ))
+    return alerts
+
+
+def detect_manifest_replay(
+    before: RpkiSnapshot, after: RpkiSnapshot
+) -> list[Alert]:
+    """Flag points whose manifest ``thisUpdate`` moved backwards.
+
+    An authority only ever signs manifests with non-decreasing issue
+    times, so a regression between two monitor snapshots means someone is
+    serving a stale-but-signed past state — the manifest-replay Byzantine
+    fault (hiding newer ROAs, or resurrecting whacked ones).
+    """
+    previous: dict[str, int] = {}
+    for record in before.manifests():
+        assert isinstance(record.obj, Manifest)
+        previous[record.point_uri] = record.obj.this_update
+    alerts: list[Alert] = []
+    for record in sorted(after.manifests(), key=lambda r: r.point_uri):
+        assert isinstance(record.obj, Manifest)
+        issued_before = previous.get(record.point_uri)
+        if issued_before is None or record.obj.this_update >= issued_before:
+            continue
+        alerts.append(Alert(
+            AlertKind.MANIFEST_REPLAY, record.point_uri, record.file_name,
+            f"manifest thisUpdate went backwards: {issued_before} -> "
+            f"{record.obj.this_update} (stale signed state being served)",
+        ))
     return alerts

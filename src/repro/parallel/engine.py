@@ -42,7 +42,6 @@ from ..crypto.rsa import record_keygens, record_verifications
 from ..repository.uri import RsyncUri
 from ..rpki.cert import ResourceCertificate
 from ..rpki.crl import Crl
-from ..rpki.errors import ObjectFormatError
 from ..rpki.ghostbusters import GhostbustersRecord
 from ..rpki.manifest import Manifest
 from ..rpki.objects import SignedObject
@@ -180,7 +179,7 @@ class ParallelEngine:
                 for file_name in sorted(files):
                     try:
                         obj = self.parse(files[file_name])
-                    except ObjectFormatError:
+                    except Exception:
                         continue  # never verified; nothing to precompute
                     if isinstance(obj, (Manifest, Crl)):
                         want(obj, ca_key)

@@ -8,7 +8,14 @@ paper's Section 6 circularity physically lives.
 
 from .cache import CachedPoint, CacheFreshness, LocalCache, point_digest
 from .errors import MountError, RepositoryError, UnknownHostError, UriError
-from .faults import PERSISTENT, Fault, FaultInjector, FaultKind
+from .faults import (
+    BYZANTINE_KINDS,
+    PERSISTENT,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    nested_bomb,
+)
 from .fetch import FetchResult, FetchStatus, Fetcher, always_reachable
 from .resilience import (
     BreakerPolicy,
@@ -26,6 +33,7 @@ from .server import (
 from .uri import RsyncUri
 
 __all__ = [
+    "BYZANTINE_KINDS",
     "PERSISTENT",
     "BreakerPolicy",
     "BreakerState",
@@ -51,5 +59,6 @@ __all__ = [
     "UnknownHostError",
     "UriError",
     "always_reachable",
+    "nested_bomb",
     "point_digest",
 ]

@@ -19,15 +19,50 @@ and deterministic:
 Schedule a fault with ``count=PERSISTENT`` to keep it firing forever —
 how a deliberately stalling authority is modeled, as opposed to the
 transient default of ``count=1``.
+
+Beyond the availability and byte-level kinds, the *Byzantine* family
+models a misbehaving authority (the paper's core threat) that serves
+well-formed but semantically adversarial content:
+
+- :data:`FaultKind.SPLIT_VIEW` — equivocation: different fetchers of the
+  same URI see different (sub)sets of the published objects, selected by
+  the fetcher's identity;
+- :data:`FaultKind.MANIFEST_REPLAY` — a stale-but-signed past state of
+  the whole point (old manifest *and* matching old files), hiding newer
+  ROAs or resurrecting whacked ones;
+- :data:`FaultKind.STALE_CRL` — only the CRL is served from a past
+  state, suppressing fresh revocations;
+- :data:`FaultKind.KEY_SWAP` — two objects served under each other's
+  file names (valid signatures, wrong slots — manifest hashes catch it);
+- :data:`FaultKind.OVERSIZED` — a file replaced by a deeply nested
+  encoding whose decoder blows the recursion limit, the CURE-style
+  crash vector the relying party's containment layer must quarantine.
+
+Replay kinds draw on the publication point's checkpoint history (see
+:meth:`repro.rpki.publication.InMemoryPublicationPoint.checkpoints`);
+without history they degrade to a no-op rather than inventing content.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 import random
+import struct
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Sequence
 
-__all__ = ["PERSISTENT", "FaultKind", "Fault", "FaultInjector"]
+from ..rpki.ca import CRL_FILE, MANIFEST_FILE
+
+__all__ = [
+    "PERSISTENT",
+    "BYZANTINE_KINDS",
+    "FaultKind",
+    "Fault",
+    "FaultInjector",
+    "nested_bomb",
+]
 
 # Sentinel count for schedule(): the fault never exhausts (a deliberately
 # misbehaving authority rather than a transient error).
@@ -44,12 +79,42 @@ class FaultKind(enum.Enum):
     DELAY = "delay"        # the fetch succeeds but costs simulated seconds
     STALL = "stall"        # the fetch hangs past any deadline (Stalloris)
     FLAKY = "flaky"        # the attempt fails with a seeded probability
+    # Byzantine authority kinds: well-formed, semantically adversarial.
+    SPLIT_VIEW = "split-view"            # per-identity equivocation
+    MANIFEST_REPLAY = "manifest-replay"  # stale-but-signed past state
+    STALE_CRL = "stale-crl"              # only the CRL served from the past
+    KEY_SWAP = "key-swap"                # two objects under swapped names
+    OVERSIZED = "oversized"              # deeply nested decoder bomb
 
 
 # Kinds that apply to a whole publication-point attempt, not to one file.
 POINT_KINDS = frozenset({
     FaultKind.UNREACHABLE, FaultKind.DELAY, FaultKind.STALL, FaultKind.FLAKY,
 })
+
+# Kinds that rewrite the *content* of a whole assembled fetch (after the
+# attempt survived the timing/availability kinds, before per-file kinds).
+BYZANTINE_KINDS = frozenset({
+    FaultKind.SPLIT_VIEW, FaultKind.MANIFEST_REPLAY, FaultKind.STALE_CRL,
+    FaultKind.KEY_SWAP,
+})
+
+_LEN = struct.Struct(">I")
+
+
+def nested_bomb(depth: int = 4000) -> bytes:
+    """CTLV bytes of a list nested *depth* levels deep (~5 bytes/level).
+
+    Structurally valid, so nothing rejects it cheaply — the recursive
+    decoder in :mod:`repro.crypto.encoding` must walk all the way down,
+    which blows Python's recursion limit long before 4000 levels.  This
+    is the oversized/deeply-nested payload class of attack that CURE
+    found crashing production relying parties.
+    """
+    data = b"N" + _LEN.pack(0)
+    for _ in range(depth):
+        data = b"L" + _LEN.pack(len(data)) + data
+    return data
 
 
 @dataclass
@@ -98,14 +163,28 @@ class FaultInjector:
 
     seed: int = 0
     background_rate: float = 0.0
+    applied_limit: int | None = 256
     _faults: list[Fault] = field(default_factory=list)
     _rng: random.Random = field(init=False)
-    applied: list[tuple[str, str, FaultKind]] = field(default_factory=list)
+    applied: "deque[tuple[str, str, FaultKind]]" = field(init=False)
+    applied_dropped: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.background_rate <= 1.0:
             raise ValueError(f"bad background rate {self.background_rate}")
+        if self.applied_limit is not None and self.applied_limit < 1:
+            raise ValueError(f"bad applied limit {self.applied_limit}")
         self._rng = random.Random(self.seed)
+        self.applied = deque(maxlen=self.applied_limit)
+
+    def _record(self, point_uri: str, file_name: str, kind: FaultKind) -> None:
+        """Append to the bounded applied log, counting what falls off."""
+        if (
+            self.applied.maxlen is not None
+            and len(self.applied) == self.applied.maxlen
+        ):
+            self.applied_dropped += 1
+        self.applied.append((point_uri, file_name, kind))
 
     # -- scheduling ----------------------------------------------------------
 
@@ -129,7 +208,7 @@ class FaultInjector:
             raise ValueError(f"bad delay {delay_seconds}")
         if not 0.0 <= fail_rate <= 1.0:
             raise ValueError(f"bad fail rate {fail_rate}")
-        if kind in POINT_KINDS and file_name is not None:
+        if kind in POINT_KINDS | BYZANTINE_KINDS and file_name is not None:
             raise ValueError(f"{kind.value} faults apply to whole points")
         fault = Fault(kind=kind, uri_prefix=point_uri, remaining=count,
                       file_name=file_name, delay_seconds=delay_seconds,
@@ -155,7 +234,7 @@ class FaultInjector:
                 continue
             if fault.matches(point_uri, None):
                 fault.consume()
-                self.applied.append((point_uri, "", fault.kind))
+                self._record(point_uri, "", fault.kind)
                 if fault.kind is FaultKind.STALL:
                     return None
                 return fault.delay_seconds
@@ -169,7 +248,7 @@ class FaultInjector:
             if fault.matches(point_uri, None):
                 fault.consume()
                 if self._rng.random() < fault.fail_rate:
-                    self.applied.append((point_uri, "", fault.kind))
+                    self._record(point_uri, "", fault.kind)
                     return True
                 return False
         return False
@@ -179,7 +258,7 @@ class FaultInjector:
         for fault in self._faults:
             if fault.kind is FaultKind.UNREACHABLE and fault.matches(point_uri, None):
                 fault.consume()
-                self.applied.append((point_uri, "", fault.kind))
+                self._record(point_uri, "", fault.kind)
                 return True
         return False
 
@@ -192,14 +271,14 @@ class FaultInjector:
         dropped from the fetch entirely.
         """
         for fault in self._faults:
-            if fault.kind in POINT_KINDS:
+            if fault.kind in POINT_KINDS or fault.kind in BYZANTINE_KINDS:
                 continue
             if fault.matches(point_uri, file_name):
                 fault.consume()
-                self.applied.append((point_uri, file_name, fault.kind))
+                self._record(point_uri, file_name, fault.kind)
                 return self._apply(fault.kind, data)
         if self.background_rate and self._rng.random() < self.background_rate:
-            self.applied.append((point_uri, file_name, FaultKind.DROP))
+            self._record(point_uri, file_name, FaultKind.DROP)
             return None
         return data
 
@@ -216,4 +295,98 @@ class FaultInjector:
             return bytes(damaged)
         if kind is FaultKind.TRUNCATE:
             return data[: len(data) // 2]
+        if kind is FaultKind.OVERSIZED:
+            return nested_bomb()
         raise AssertionError(f"unhandled fault kind {kind}")
+
+    # -- Byzantine application (whole assembled fetch) -----------------------
+
+    def filter_point(
+        self,
+        point_uri: str,
+        files: dict[str, bytes],
+        *,
+        identity: str = "",
+        history: Sequence[dict[str, bytes]] = (),
+    ) -> dict[str, bytes]:
+        """Rewrite one assembled fetch through the Byzantine fault plan.
+
+        *identity* is the fetcher's identity string (SPLIT_VIEW serves
+        different subsets to different identities); *history* the point's
+        checkpoints, oldest first, for the replay kinds.  Applied after
+        the timing/availability kinds and before the per-file kinds, so a
+        replayed state can itself be corrupted downstream.
+        """
+        for fault in self._faults:
+            if fault.kind not in BYZANTINE_KINDS:
+                continue
+            if fault.matches(point_uri, None):
+                fault.consume()
+                self._record(point_uri, "", fault.kind)
+                files = self._apply_byzantine(
+                    fault.kind, point_uri, files,
+                    identity=identity, history=history,
+                )
+        return files
+
+    def _apply_byzantine(
+        self,
+        kind: FaultKind,
+        point_uri: str,
+        files: dict[str, bytes],
+        *,
+        identity: str,
+        history: Sequence[dict[str, bytes]],
+    ) -> dict[str, bytes]:
+        if kind is FaultKind.SPLIT_VIEW:
+            # Equivocation: keep every other plain object, with the kept
+            # parity derived from (identity, point) — stable per fetcher,
+            # different across fetchers.  CRL and manifest always served,
+            # so the view looks healthy until cross-checked.
+            seed = hashlib.sha256(f"{identity}|{point_uri}".encode()).digest()
+            parity = seed[0] % 2
+            objects = sorted(
+                name for name in files if name not in (CRL_FILE, MANIFEST_FILE)
+            )
+            dropped = {
+                name for index, name in enumerate(objects)
+                if index % 2 != parity
+            }
+            return {k: v for k, v in files.items() if k not in dropped}
+        if kind is FaultKind.MANIFEST_REPLAY:
+            # Serve the newest past state that differs from the current
+            # one: stale-but-signed manifest plus its matching files —
+            # internally consistent, semantically outdated.
+            past = self._stale_state(files, history)
+            return dict(past) if past is not None else files
+        if kind is FaultKind.STALE_CRL:
+            past = self._stale_state(files, history)
+            if past is None:
+                return files
+            old_crl = past.get(CRL_FILE)
+            if old_crl is None or old_crl == files.get(CRL_FILE):
+                return files
+            served = dict(files)
+            served[CRL_FILE] = old_crl
+            return served
+        if kind is FaultKind.KEY_SWAP:
+            objects = sorted(
+                name for name in files if name not in (CRL_FILE, MANIFEST_FILE)
+            )
+            if len(objects) < 2:
+                return files
+            served = dict(files)
+            first, second = objects[0], objects[1]
+            served[first], served[second] = served[second], served[first]
+            return served
+        raise AssertionError(f"unhandled byzantine kind {kind}")
+
+    @staticmethod
+    def _stale_state(
+        current: dict[str, bytes], history: Sequence[dict[str, bytes]]
+    ) -> dict[str, bytes] | None:
+        """The newest checkpoint differing from *current*, if any."""
+        for past in reversed(list(history)):
+            if past != current:
+                return past
+        return None

@@ -116,6 +116,11 @@ class Fetcher:
     metrics:
         Telemetry registry for fetch counters (None → the process-global
         default registry).
+    identity:
+        Who is fetching, as far as a Byzantine authority can tell (e.g.
+        the relying party's name).  An equivocating publication point
+        (:data:`~repro.repository.faults.FaultKind.SPLIT_VIEW`) keys the
+        view it serves on this string.
     """
 
     def __init__(
@@ -128,6 +133,7 @@ class Fetcher:
         attempt_timeout: int = DEFAULT_ATTEMPT_TIMEOUT,
         resilience: ResilienceConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        identity: str = "",
     ):
         if attempt_timeout < 1:
             raise ValueError(f"bad attempt timeout {attempt_timeout}")
@@ -135,6 +141,7 @@ class Fetcher:
         self._clock = clock
         self.reachability = reachability
         self.faults = faults
+        self.identity = identity
         self.attempt_timeout = attempt_timeout
         self.resilience = resilience
         self.breakers: dict[str, CircuitBreaker] = {}
@@ -262,12 +269,23 @@ class Fetcher:
         for name in point.names():
             data = point.get(name)
             assert data is not None
-            if self.faults is not None:
-                filtered = self.faults.filter_file(uri_text, name, data)
+            files[name] = data
+        if self.faults is not None:
+            # Byzantine rewrites act on the whole assembled view first,
+            # then per-file kinds damage whatever that view contains.
+            checkpoints = getattr(point, "checkpoints", None)
+            files = self.faults.filter_point(
+                uri_text, files,
+                identity=self.identity,
+                history=checkpoints() if checkpoints is not None else (),
+            )
+            served: dict[str, bytes] = {}
+            for name in sorted(files):
+                filtered = self.faults.filter_file(uri_text, name, files[name])
                 if filtered is None:
                     continue  # dropped
-                data = filtered
-            files[name] = data
+                served[name] = filtered
+            files = served
         return FetchStatus.OK, files
 
     def _log(self, result: FetchResult) -> FetchResult:

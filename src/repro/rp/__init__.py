@@ -20,7 +20,7 @@ from .incremental import (
 from .lta import LocalOverrides, classify_with_overrides
 from .origin import OriginValidationOutcome, classify, explain
 from .pathval import PathValidator, Severity, ValidationIssue, ValidationRun
-from .relying_party import RefreshReport, RelyingParty
+from .relying_party import DegradationReport, RefreshReport, RelyingParty
 from .states import Route, RouteValidity
 from .suspenders import RetainedVrp, SuspendersRelyingParty
 from .vrp import VRP, VrpSet
@@ -31,6 +31,7 @@ __all__ = [
     "LocalOverrides",
     "SubprefixDisposition",
     "classify_disposition",
+    "DegradationReport",
     "IncrementalState",
     "OriginValidationOutcome",
     "ParseMemo",

@@ -85,6 +85,13 @@ __all__ = [
 # Generous for any simulated deployment; bounds long-running monitors.
 DEFAULT_MEMO_ENTRIES = 65536
 
+# Blobs above this size bypass the parse memo entirely: a decoder-bomb
+# payload (repository/faults.nested_bomb) must not pin memory in — or
+# poison — a cache that outlives the refresh that fetched it.  Far above
+# any legitimate object in the simulation (hundreds of bytes), below the
+# default bomb (~20 KiB).
+DEFAULT_MAX_OBJECT_BYTES = 16 << 10
+
 
 def time_signature(boundaries: tuple[int, ...], now: int) -> tuple[int, int]:
     """Which side of every boundary *now* falls on, as two counts.
@@ -162,17 +169,32 @@ class ParseMemo:
     message and re-raised as a fresh :class:`ObjectFormatError`.
     """
 
-    def __init__(self, *, max_entries: int | None = DEFAULT_MEMO_ENTRIES):
+    def __init__(
+        self,
+        *,
+        max_entries: int | None = DEFAULT_MEMO_ENTRIES,
+        max_object_bytes: int | None = DEFAULT_MAX_OBJECT_BYTES,
+    ):
         self._objects: dict[str, SignedObject | str] = {}
         self.max_entries = max_entries
+        self.max_object_bytes = max_object_bytes
         self.hits = 0
         self.misses = 0
+        self.oversized = 0
 
     def __len__(self) -> int:
         return len(self._objects)
 
     def parse(self, data: bytes) -> SignedObject:
         """Memoized parse; raises :class:`ObjectFormatError` like the real one."""
+        if (
+            self.max_object_bytes is not None
+            and len(data) > self.max_object_bytes
+        ):
+            # Too big to be worth remembering (and possibly hostile):
+            # parse without touching the memo at all.
+            self.oversized += 1
+            return parse_object(data)
         digest = sha256_hex(data)
         cached = self._objects.get(digest)
         if cached is not None:

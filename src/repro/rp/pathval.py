@@ -275,10 +275,16 @@ class PathValidator:
             if entry is not None:
                 provider.count_reused(entry)
         if entry is None:
-            entry = self._validate_point(ca_cert, cache_files, now, fingerprint)
-            if provider is not None:
-                provider.count_validated()
-                provider.store(ca_cert.subject_key_id, entry, now)
+            try:
+                entry = self._validate_point(
+                    ca_cert, cache_files, now, fingerprint
+                )
+            except Exception as exc:  # containment: one bad point ≠ dead run
+                entry = self._quarantined_point(ca_cert, fingerprint, now, exc)
+            else:
+                if provider is not None:
+                    provider.count_validated()
+                    provider.store(ca_cert.subject_key_id, entry, now)
 
         # Apply the point's local outcome, then recurse into the subtree.
         # Replayed and freshly computed results take the identical path, so
@@ -363,36 +369,54 @@ class PathValidator:
                         str(exc),
                     ))
                     continue
-                if isinstance(obj, ResourceCertificate):
-                    child = self._check_child_cert(
-                        point_uri, file_name, obj, ca_cert, crl, now, issues
-                    )
-                    if child is not None:
-                        children.append(child)
-                elif isinstance(obj, Roa):
-                    roa = self._check_roa(
-                        point_uri, file_name, obj, ca_cert, crl, now, issues
-                    )
-                    if roa is not None:
-                        roas.append(roa)
-                        for roa_prefix in roa.prefixes:
-                            vrps.append(VRP(
-                                prefix=roa_prefix.prefix,
-                                max_length=roa_prefix.effective_max_length,
-                                asn=roa.asn,
-                            ))
-                elif isinstance(obj, GhostbustersRecord):
-                    record = self._check_ghostbusters(
-                        point_uri, file_name, obj, ca_cert, crl, now, issues
-                    )
-                    if record is not None:
-                        contact = record
-                else:
+                except Exception as exc:
+                    # Anything past the format layer (decoder recursion
+                    # blow-ups, pathological payloads) quarantines just
+                    # this object; siblings keep validating.
                     issues.append(ValidationIssue(
-                        Severity.WARNING, point_uri, file_name,
-                        "unexpected-type",
-                        f"unexpected object type {obj.TYPE!r} in publication point",
+                        Severity.ERROR, point_uri, file_name,
+                        "object-quarantined",
+                        f"{type(exc).__name__}: {exc}",
                     ))
+                    continue
+                try:
+                    if isinstance(obj, ResourceCertificate):
+                        child = self._check_child_cert(
+                            point_uri, file_name, obj, ca_cert, crl, now, issues
+                        )
+                        if child is not None:
+                            children.append(child)
+                    elif isinstance(obj, Roa):
+                        roa = self._check_roa(
+                            point_uri, file_name, obj, ca_cert, crl, now, issues
+                        )
+                        if roa is not None:
+                            roas.append(roa)
+                            for roa_prefix in roa.prefixes:
+                                vrps.append(VRP(
+                                    prefix=roa_prefix.prefix,
+                                    max_length=roa_prefix.effective_max_length,
+                                    asn=roa.asn,
+                                ))
+                    elif isinstance(obj, GhostbustersRecord):
+                        record = self._check_ghostbusters(
+                            point_uri, file_name, obj, ca_cert, crl, now, issues
+                        )
+                        if record is not None:
+                            contact = record
+                    else:
+                        issues.append(ValidationIssue(
+                            Severity.WARNING, point_uri, file_name,
+                            "unexpected-type",
+                            f"unexpected object type {obj.TYPE!r} in publication point",
+                        ))
+                except Exception as exc:
+                    issues.append(ValidationIssue(
+                        Severity.ERROR, point_uri, file_name,
+                        "object-quarantined",
+                        f"{type(exc).__name__}: {exc}",
+                    ))
+                    continue
         return self._finish_point(
             ca_cert, cache_files, files, now, fingerprint, point_uri,
             issues, children, roas, vrps, contact, verify_before,
@@ -433,6 +457,35 @@ class PathValidator:
             verify_count=self._verify_calls - verify_before,
         )
 
+    def _quarantined_point(
+        self,
+        ca_cert: ResourceCertificate,
+        fingerprint: tuple,
+        now: int,
+        exc: Exception,
+    ) -> PointResult:
+        """A replayable empty result for a point whose validation raised.
+
+        Deliberately *not* stored in any reuse provider: the next run
+        retries the point from scratch instead of replaying the failure.
+        """
+        issue = ValidationIssue(
+            Severity.ERROR, _normalize(ca_cert.sia), "", "point-quarantined",
+            f"validation raised {type(exc).__name__}: {exc}",
+        )
+        return PointResult(
+            fingerprint=fingerprint,
+            boundaries=(),
+            time_sig=time_signature((), now),
+            selected_uri=_normalize(ca_cert.sia),
+            issues=(issue,),
+            children=(),
+            roas=(),
+            vrps=(),
+            contact=None,
+            verify_count=0,
+        )
+
     def _collect_boundaries(
         self,
         ca_cert: ResourceCertificate,
@@ -468,15 +521,15 @@ class PathValidator:
                 continue
             try:
                 mirror_manifest = self._parse(data)
-            except ObjectFormatError:
-                continue
+            except Exception:
+                continue  # unparseable bytes contribute no boundaries
             if isinstance(mirror_manifest, Manifest):
                 add(mirror_manifest)
         for data in (selected_files or {}).values():
             try:
                 obj = self._parse(data)
-            except ObjectFormatError:
-                continue
+            except Exception:
+                continue  # unparseable bytes contribute no boundaries
             add(obj)
             ee = getattr(obj, "ee_cert", None)
             if ee is not None:
@@ -520,8 +573,8 @@ class PathValidator:
             return False
         try:
             manifest = self._parse(data)
-        except ObjectFormatError:
-            return False
+        except Exception:
+            return False  # an unparseable manifest is an inconsistent copy
         if not isinstance(manifest, Manifest):
             return False
         if not self._verify(manifest, ca_cert.subject_key):
@@ -546,7 +599,7 @@ class PathValidator:
             return None
         try:
             crl = self._parse(data)
-        except ObjectFormatError as exc:
+        except Exception as exc:
             issues.append(ValidationIssue(
                 Severity.ERROR, point_uri, CRL_FILE, "crl-parse-failed", str(exc),
             ))
@@ -586,7 +639,7 @@ class PathValidator:
             try:
                 parsed = self._parse(data)
                 manifest = parsed if isinstance(parsed, Manifest) else None
-            except ObjectFormatError:
+            except Exception:
                 manifest = None
             if manifest is None or not self._verify(
                 manifest, ca_cert.subject_key

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from ..parallel import ParallelEngine, WorkerPool
 from ..repository.cache import CacheFreshness, LocalCache
-from ..repository.fetch import Fetcher, FetchResult
+from ..repository.fetch import Fetcher, FetchResult, FetchStatus
 from ..repository.uri import RsyncUri
 from ..rpki.cert import ResourceCertificate
 from ..simtime import Clock
@@ -30,7 +30,43 @@ from .pathval import PathValidator, ValidationRun
 from .states import Route, RouteValidity
 from .vrp import VrpSet
 
-__all__ = ["RelyingParty", "RefreshReport"]
+__all__ = ["RelyingParty", "RefreshReport", "DegradationReport"]
+
+# Issue codes that mean "this object's bytes were rejected and the object
+# was excluded while its siblings kept validating" — the containment
+# outcomes a DegradationReport aggregates.
+_QUARANTINE_CODES = frozenset({
+    "parse-failed", "object-quarantined", "crl-parse-failed", "hash-mismatch",
+})
+
+
+@dataclass
+class DegradationReport:
+    """What one refresh survived: the containment ledger.
+
+    The invariant this records is *one bad object never aborts the
+    refresh* — every damaged input ends up listed here instead of raised.
+    Affected subtrees keep serving last-known-good VRPs through the
+    cache's stale-grace machinery; everything else is unaffected.
+    """
+
+    # (point URI, file name, issue code) per excluded object.
+    quarantined_objects: list[tuple[str, str, str]] = field(
+        default_factory=list
+    )
+    # (point URI, reason) per point that failed to fetch or whose
+    # validation was contained whole.
+    degraded_points: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.quarantined_objects and not self.degraded_points
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.quarantined_objects)} object(s) quarantined, "
+            f"{len(self.degraded_points)} point(s) degraded"
+        )
 
 
 @dataclass
@@ -43,6 +79,7 @@ class RefreshReport:
     budget_exhausted: bool = False
     skipped: list[str] = field(default_factory=list)
     freshness: dict[str, CacheFreshness] = field(default_factory=dict)
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
     @property
     def vrps(self) -> VrpSet:
@@ -184,6 +221,15 @@ class RelyingParty:
             help="refresh cycles that hit their fetch budget and fell back "
                  "to cached data",
         )
+        self._m_quarantined = self.metrics.counter(
+            "repro_rp_quarantined_objects_total",
+            help="objects excluded by containment while siblings validated",
+        )
+        self._m_degraded = self.metrics.counter(
+            "repro_rp_degraded_points_total",
+            help="publication points degraded in a refresh (fetch failure "
+                 "or contained validation error)",
+        )
 
     # -- the refresh cycle ----------------------------------------------------
 
@@ -223,7 +269,16 @@ class RelyingParty:
                         budget_hit = True
                         unfetched_at_break = pending - fetched
                         break
-                    result = self.fetcher.fetch_point(uri)
+                    try:
+                        result = self.fetcher.fetch_point(uri)
+                    except Exception:
+                        # Containment: a crashing fetch degrades one point
+                        # (recorded below via its FAULTED status), never
+                        # the whole refresh.
+                        result = FetchResult(
+                            uri, FetchStatus.FAULTED,
+                            fetched_at=self._clock.now,
+                        )
                     self.cache.update(result)
                     report.fetches.append(result)
                     fetched.add(uri)
@@ -242,11 +297,38 @@ class RelyingParty:
             self._m_budget_exhausted.inc()
         report.freshness = self.cache.classify(self._clock.now)
         report.run = run
+        report.degradation = self._degradation(report.fetches, run)
         self._last_run = run
         self._m_refreshes.inc()
         self._m_rounds.inc(report.rounds)
         self._m_vrps.set(len(run.vrps))
+        if report.degradation.quarantined_objects:
+            self._m_quarantined.inc(len(report.degradation.quarantined_objects))
+        if report.degradation.degraded_points:
+            self._m_degraded.inc(len(report.degradation.degraded_points))
         return report
+
+    @staticmethod
+    def _degradation(
+        fetches: list[FetchResult], run: ValidationRun
+    ) -> DegradationReport:
+        """Aggregate this cycle's containment outcomes."""
+        degradation = DegradationReport()
+        for issue in run.issues:
+            if issue.code in _QUARANTINE_CODES:
+                degradation.quarantined_objects.append(
+                    (issue.point_uri, issue.file_name, issue.code)
+                )
+            elif issue.code == "point-quarantined":
+                degradation.degraded_points.append(
+                    (issue.point_uri, issue.code)
+                )
+        for result in fetches:
+            if not result.ok:
+                degradation.degraded_points.append(
+                    (result.uri, result.status.value)
+                )
+        return degradation
 
     def _validate(self) -> ValidationRun:
         """One validation pass over the current cache snapshot."""

@@ -661,6 +661,12 @@ class CertificateAuthority:
             for name, data in desired.items():
                 if target.get(name) != data:
                     target.put(name, data)
+            # Record a consistent historical state on targets that keep
+            # history (the replay-fault substrate); plain dict-backed
+            # targets without checkpoints are fine too.
+            record = getattr(target, "checkpoint", None)
+            if record is not None:
+                record()
 
 
 def cert_file_name(certificate: ResourceCertificate) -> str:

@@ -9,9 +9,15 @@ whose *reachability* the Section 6 circularity analysis cares about.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterator, Protocol, runtime_checkable
 
-__all__ = ["PublicationTarget", "InMemoryPublicationPoint"]
+__all__ = ["DEFAULT_HISTORY_LIMIT", "PublicationTarget", "InMemoryPublicationPoint"]
+
+# Checkpoints kept per point.  Enough for a replay attacker to reach back
+# several publish cycles; bounded so long campaigns don't accumulate
+# every state the point ever had.
+DEFAULT_HISTORY_LIMIT = 8
 
 
 @runtime_checkable
@@ -36,12 +42,19 @@ class InMemoryPublicationPoint:
 
     Used directly in unit tests and wrapped by the repository layer's
     hosted points.  Keeps a monotonic revision counter so monitors can
-    cheaply detect "anything changed here?".
+    cheaply detect "anything changed here?", and a bounded history of
+    *checkpoints* — consistent past states recorded by the CA after each
+    publish — which is exactly what a replaying authority (or a
+    compromised repository) can serve instead of the current content:
+    stale-but-signed, internally consistent, semantically outdated.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, history_limit: int = DEFAULT_HISTORY_LIMIT) -> None:
+        if history_limit < 1:
+            raise ValueError(f"history limit must be >= 1, got {history_limit}")
         self._files: dict[str, bytes] = {}
         self._revision = 0
+        self._history: deque[dict[str, bytes]] = deque(maxlen=history_limit)
 
     @property
     def revision(self) -> int:
@@ -67,6 +80,23 @@ class InMemoryPublicationPoint:
     def snapshot(self) -> dict[str, bytes]:
         """A copy of the full current contents."""
         return dict(self._files)
+
+    def checkpoint(self) -> None:
+        """Record the current contents as a consistent historical state.
+
+        The CA engine calls this after every :meth:`publish
+        <repro.rpki.ca.CertificateAuthority.publish>` sync, so each
+        checkpoint is a manifest-consistent view — the raw material of
+        the Byzantine replay faults (:mod:`repro.repository.faults`).
+        Identical consecutive states are collapsed.
+        """
+        if self._history and self._history[-1] == self._files:
+            return
+        self._history.append(dict(self._files))
+
+    def checkpoints(self) -> tuple[dict[str, bytes], ...]:
+        """Past consistent states, oldest first (bounded; copies)."""
+        return tuple(dict(state) for state in self._history)
 
     def __len__(self) -> int:
         return len(self._files)

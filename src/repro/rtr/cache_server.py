@@ -24,6 +24,7 @@ from .pdu import (
     EndOfData,
     ErrorReport,
     Pdu,
+    PduDecodeError,
     PrefixPdu,
     ResetQuery,
     SerialNotify,
@@ -101,6 +102,11 @@ class RtrCacheServer:
         self._m_vrps = self.metrics.gauge(
             "repro_rtr_vrps", help="VRPs in the currently served set"
         )
+        self._m_errors = self.metrics.counter(
+            "repro_rtr_errors_total",
+            help="router sessions dropped for cause, by error class",
+            labelnames=("kind",),
+        )
 
     # -- data-side API --------------------------------------------------------
 
@@ -170,9 +176,28 @@ class RtrCacheServer:
             except ChannelClosed:
                 session.alive = False
                 continue
-            pdus, session.receive_buffer = decode_pdus(data)
+            try:
+                pdus, session.receive_buffer = decode_pdus(data)
+            except PduDecodeError as exc:
+                # Malformed bytes from a router: RFC 6810 §10 — report
+                # the error and drop the session rather than letting the
+                # parse exception reach the server loop.
+                self._m_errors.inc(kind="decode")
+                self._send(session, ErrorReport(error_code=0, text=str(exc)))
+                session.alive = False
+                session.receive_buffer = b""
+                continue
             for pdu in pdus:
-                self._handle(session, pdu)
+                try:
+                    self._handle(session, pdu)
+                except Exception as exc:
+                    self._m_errors.inc(kind="internal")
+                    self._send(session, ErrorReport(
+                        error_code=0,
+                        text=f"internal error: {type(exc).__name__}",
+                    ))
+                    session.alive = False
+                    break
 
     # -- protocol ----------------------------------------------------------------------
 
@@ -186,6 +211,7 @@ class RtrCacheServer:
         # Anything else from a router is a protocol violation; RFC 6810
         # says send an Error Report and drop the session.
         elif not isinstance(pdu, (SerialNotify,)):
+            self._m_errors.inc(kind="protocol")
             self._send(session, ErrorReport(error_code=3,
                                             text=f"unexpected {type(pdu).__name__}"))
             session.alive = False

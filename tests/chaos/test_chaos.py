@@ -1,0 +1,149 @@
+"""Tests for the chaos campaign: plans, invariants, the shrinker.
+
+Campaign executions here are deliberately tiny (two RIRs, a handful of
+cycles) — the 200-cycle acceptance sweep lives in the benchmark suite;
+these tests pin the semantics: determinism, the three invariants, the
+staged violation, and shrinking to a minimal reproducer.
+"""
+
+import pytest
+
+from repro.chaos import (
+    FAULT_MENU,
+    CampaignConfig,
+    FaultPlan,
+    PlannedFault,
+    Violation,
+    build_plan,
+    run_campaign,
+    shrink_plan,
+)
+from repro.repository import FaultInjector, FaultKind
+
+POINTS = ["rsync://a.example/repo/", "rsync://b.example/repo/"]
+
+
+class TestPlans:
+    def test_build_plan_is_deterministic(self):
+        one = build_plan(7, 10, POINTS)
+        two = build_plan(7, 10, POINTS)
+        assert one == two
+
+    def test_different_seeds_differ(self):
+        assert build_plan(7, 20, POINTS) != build_plan(8, 20, POINTS)
+
+    def test_menu_covers_every_family(self):
+        kinds = set(FAULT_MENU)
+        assert FaultKind.STALL in kinds          # timing
+        assert FaultKind.CORRUPT in kinds        # byte-level
+        assert FaultKind.SPLIT_VIEW in kinds     # Byzantine
+        assert FaultKind.MANIFEST_REPLAY in kinds
+        assert FaultKind.STALE_CRL in kinds
+        assert FaultKind.KEY_SWAP in kinds
+        assert FaultKind.OVERSIZED in kinds
+
+    def test_persistent_fault_active_from_cycle_on(self):
+        fault = PlannedFault(3, FaultKind.STALL, POINTS[0], persistent=True)
+        assert not fault.active_at(2)
+        assert fault.active_at(3) and fault.active_at(9)
+        one_shot = PlannedFault(3, FaultKind.STALL, POINTS[0])
+        assert one_shot.active_at(3) and not one_shot.active_at(4)
+
+    def test_schedule_on_injector(self):
+        fault = PlannedFault(0, FaultKind.DROP, POINTS[0])
+        injector = FaultInjector()
+        fault.schedule_on(injector)
+        assert injector.filter_file(POINTS[0], "x.roa", b"data") is None
+        # One-shot: consumed.
+        assert injector.filter_file(POINTS[0], "x.roa", b"data") == b"data"
+
+    def test_without_removes_one_entry(self):
+        plan = build_plan(7, 10, POINTS)
+        assert len(plan) > 1
+        smaller = plan.without(0)
+        assert len(smaller) == len(plan) - 1
+        assert smaller.faults == plan.faults[1:]
+
+    def test_describe_mentions_every_fault(self):
+        plan = build_plan(7, 10, POINTS)
+        text = plan.describe()
+        assert text.count("\n") + 1 == len(plan)
+        assert FaultPlan(seed=1, cycles=1).describe() == "(empty plan)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_plan(7, 0, POINTS)
+        with pytest.raises(ValueError):
+            build_plan(7, 5, [])
+
+
+class TestCampaign:
+    CONFIG = CampaignConfig(seed=7, cycles=4)
+
+    def test_clean_campaign_holds_all_invariants(self):
+        result = run_campaign(self.CONFIG)
+        assert result.ok and result.violation is None
+        assert result.cycles_run == 4
+        assert result.clean_vrps > 0
+
+    def test_campaign_is_deterministic(self):
+        one = run_campaign(self.CONFIG)
+        two = run_campaign(self.CONFIG)
+        assert one.plan == two.plan
+        assert one.faults_fired == two.faults_fired
+        assert one.clean_vrps == two.clean_vrps
+        assert one.quarantined_objects == two.quarantined_objects
+
+    def test_empty_plan_fires_nothing(self):
+        empty = FaultPlan(seed=7, cycles=4)
+        result = run_campaign(self.CONFIG, plan=empty)
+        assert result.ok
+        assert result.faults_fired == 0
+
+    def test_explicit_byzantine_plan_is_contained(self):
+        result = run_campaign(self.CONFIG)
+        uri = result.plan.faults[0].point_uri if len(result.plan) else None
+        plan = FaultPlan(seed=7, cycles=4, faults=tuple(
+            PlannedFault(0, kind, uri or POINTS[0], persistent=True)
+            for kind in (
+                FaultKind.MANIFEST_REPLAY,
+                FaultKind.STALE_CRL,
+                FaultKind.KEY_SWAP,
+                FaultKind.SPLIT_VIEW,
+            )
+        ))
+        result = run_campaign(self.CONFIG, plan=plan)
+        assert result.ok, str(result.violation)
+
+    def test_campaign_metrics_registry(self):
+        result = run_campaign(self.CONFIG)
+        cycles = result.metrics.get("repro_chaos_cycles_total")
+        assert cycles.value() == result.cycles_run
+
+
+class TestStagedViolation:
+    DEMO = CampaignConfig(seed=11, cycles=4, plant_violation=True)
+
+    def test_planted_violation_is_caught(self):
+        result = run_campaign(self.DEMO)
+        assert result.violation is not None
+        assert isinstance(result.violation, Violation)
+        assert result.violation.invariant == "safety"
+        assert "clean run never produced" in result.violation.detail
+
+    def test_shrinks_to_minimal_reproducer(self):
+        staged = run_campaign(self.DEMO)
+        minimal, runs = shrink_plan(self.DEMO, staged.plan)
+        assert 1 <= len(minimal) <= 3
+        assert runs >= 1
+        # The shrunk plan still reproduces the violation.
+        again = run_campaign(self.DEMO, plan=minimal)
+        assert again.violation is not None
+        assert again.violation.invariant == "safety"
+
+    def test_shrink_rejects_clean_plan(self):
+        clean = CampaignConfig(seed=7, cycles=3)
+        result = run_campaign(clean)
+        assert result.ok
+        with pytest.raises(ValueError):
+            shrink_plan(clean, result.plan)

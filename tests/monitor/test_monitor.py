@@ -238,3 +238,71 @@ class TestContactEnrichment:
             a for a in alerts if a.kind is AlertKind.STEALTHY_DELETION
         )
         assert stealthy.contact is None
+
+
+class TestByzantineDetectors:
+    """Cross-vantage and cross-snapshot detection of Byzantine serving."""
+
+    def test_equivocation_detected_across_vantages(self):
+        from repro.monitor import detect_equivocation
+
+        views = {
+            "rp-alpha": {"rsync://x/repo/": {"a.roa": b"one"}},
+            "rp-beta": {"rsync://x/repo/": {"a.roa": b"two"}},
+            "rp-gamma": {"rsync://x/repo/": {"a.roa": b"one"}},
+        }
+        alerts = detect_equivocation(views)
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.kind is AlertKind.EQUIVOCATION
+        assert alert.severity == "critical" and alert.is_suspicious
+        assert "2 distinct views" in alert.detail
+        assert "rp-alpha, rp-gamma" in alert.detail
+
+    def test_equivocation_quiet_on_consistent_serving(self):
+        from repro.monitor import detect_equivocation
+
+        views = {
+            "rp-alpha": {"rsync://x/repo/": {"a.roa": b"one"}},
+            "rp-beta": {"rsync://x/repo/": {"a.roa": b"one"}},
+        }
+        assert detect_equivocation(views) == []
+
+    def test_equivocation_from_split_view_fault(self, world):
+        """An injected SPLIT_VIEW is exactly what the detector catches."""
+        from repro.repository import (
+            PERSISTENT,
+            FaultInjector,
+            FaultKind,
+            Fetcher,
+        )
+        from repro.monitor import detect_equivocation
+
+        uri = "rsync://continental.example/repo/"
+        views = {}
+        for identity in ("vantage-a", "vantage-b", "vantage-c", "vantage-d"):
+            faults = FaultInjector(seed=5)
+            faults.schedule(FaultKind.SPLIT_VIEW, uri, count=PERSISTENT)
+            fetcher = Fetcher(world.registry, world.clock, faults=faults,
+                              identity=identity)
+            views[identity] = {uri: fetcher.fetch_point(uri).files}
+        alerts = detect_equivocation(views)
+        assert [a.point_uri for a in alerts] == [uri]
+
+    def test_manifest_replay_detected(self, world):
+        from repro.monitor import detect_manifest_replay
+        from repro.simtime import HOUR
+
+        before = snap(world)
+        world.clock.advance(HOUR)
+        world.continental.publish()
+        after = snap(world)
+        # Forward in time: no alert.  A monitor that later sees the OLD
+        # state again (the replay) alarms on the regression.
+        assert detect_manifest_replay(before, after) == []
+        alerts = detect_manifest_replay(after, before)
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.kind is AlertKind.MANIFEST_REPLAY
+        assert alert.point_uri == "rsync://continental.example/repo/"
+        assert "backwards" in alert.detail

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.repository import (
+    BYZANTINE_KINDS,
+    PERSISTENT,
     FaultInjector,
     FaultKind,
     FetchStatus,
@@ -14,6 +16,7 @@ from repro.repository import (
     RsyncUri,
     UnknownHostError,
     UriError,
+    nested_bomb,
 )
 from repro.simtime import Clock
 
@@ -225,9 +228,145 @@ class TestFaults:
                         file_name="a.roa")
         fetcher = self.make_fetcher(faults)
         fetcher.fetch_point("rsync://continental/repo/")
-        assert faults.applied == [
+        assert list(faults.applied) == [
             ("rsync://continental/repo/", "a.roa", FaultKind.DROP)
         ]
+        assert faults.applied_dropped == 0
+
+
+class TestByzantineFaults:
+    """The misbehaving-authority kinds: whole-point rewrites."""
+
+    URI = "rsync://continental/repo/"
+
+    def make_world(self):
+        registry = RepositoryRegistry()
+        server = registry.create_server(
+            "continental", HostLocator.parse("63.174.23.0", 17054)
+        )
+        point = server.mount(self.URI)
+        point.put("ca.crl", b"crl-v1")
+        point.put("ca.mft", b"mft-v1")
+        point.put("a.roa", b"roa-a-v1")
+        point.put("b.roa", b"roa-b-v1")
+        point.checkpoint()
+        return registry, point
+
+    def fetcher(self, registry, faults, identity=""):
+        return Fetcher(registry, Clock(), faults=faults, identity=identity)
+
+    def test_byzantine_kinds_are_point_level(self):
+        faults = FaultInjector()
+        for kind in BYZANTINE_KINDS:
+            with pytest.raises(ValueError):
+                faults.schedule(kind, self.URI, file_name="a.roa")
+
+    def test_split_view_serves_different_objects_per_identity(self):
+        registry, _ = self.make_world()
+        views = {}
+        for identity in ("rp-alpha", "rp-gamma"):
+            faults = FaultInjector(seed=5)
+            faults.schedule(FaultKind.SPLIT_VIEW, self.URI, count=PERSISTENT)
+            result = self.fetcher(registry, faults, identity).fetch_point(
+                self.URI
+            )
+            views[identity] = result.files
+        # Both vantages keep the special files but see disjoint halves of
+        # the payload objects; together they cover everything.
+        for files in views.values():
+            assert "ca.crl" in files and "ca.mft" in files
+        roas = [
+            {n for n in files if n.endswith(".roa")}
+            for files in views.values()
+        ]
+        assert roas[0] != roas[1]
+        assert roas[0] | roas[1] == {"a.roa", "b.roa"}
+        assert roas[0].isdisjoint(roas[1])
+
+    def test_split_view_is_stable_per_identity(self):
+        registry, _ = self.make_world()
+        seen = []
+        for _ in range(2):
+            faults = FaultInjector(seed=5)
+            faults.schedule(FaultKind.SPLIT_VIEW, self.URI, count=PERSISTENT)
+            result = self.fetcher(registry, faults, "rp-alpha").fetch_point(
+                self.URI
+            )
+            seen.append(sorted(result.files))
+        assert seen[0] == seen[1]
+
+    def test_manifest_replay_serves_previous_checkpoint(self):
+        registry, point = self.make_world()
+        point.put("ca.mft", b"mft-v2")
+        point.put("c.roa", b"roa-c-v2")
+        point.checkpoint()
+        faults = FaultInjector()
+        faults.schedule(FaultKind.MANIFEST_REPLAY, self.URI)
+        result = self.fetcher(registry, faults).fetch_point(self.URI)
+        # The stale-but-signed past: c.roa hidden, old manifest back.
+        assert "c.roa" not in result.files
+        assert result.files["ca.mft"] == b"mft-v1"
+        healed = self.fetcher(registry, FaultInjector()).fetch_point(self.URI)
+        assert "c.roa" in healed.files
+
+    def test_manifest_replay_without_history_is_noop(self):
+        registry = RepositoryRegistry()
+        server = registry.create_server(
+            "continental", HostLocator.parse("63.174.23.0", 17054)
+        )
+        point = server.mount(self.URI)
+        point.put("a.roa", b"roa-a-v1")
+        faults = FaultInjector()
+        faults.schedule(FaultKind.MANIFEST_REPLAY, self.URI)
+        result = self.fetcher(registry, faults).fetch_point(self.URI)
+        assert result.files == {"a.roa": b"roa-a-v1"}
+
+    def test_stale_crl_substitutes_only_the_crl(self):
+        registry, point = self.make_world()
+        point.put("ca.crl", b"crl-v2")
+        point.put("ca.mft", b"mft-v2")
+        point.checkpoint()
+        faults = FaultInjector()
+        faults.schedule(FaultKind.STALE_CRL, self.URI)
+        result = self.fetcher(registry, faults).fetch_point(self.URI)
+        assert result.files["ca.crl"] == b"crl-v1"      # rolled back
+        assert result.files["ca.mft"] == b"mft-v2"      # everything else fresh
+
+    def test_key_swap_exchanges_two_objects(self):
+        registry, _ = self.make_world()
+        faults = FaultInjector()
+        faults.schedule(FaultKind.KEY_SWAP, self.URI)
+        result = self.fetcher(registry, faults).fetch_point(self.URI)
+        assert result.files["a.roa"] == b"roa-b-v1"
+        assert result.files["b.roa"] == b"roa-a-v1"
+        assert result.files["ca.crl"] == b"crl-v1"
+
+    def test_oversized_replaces_file_with_nested_bomb(self):
+        registry, _ = self.make_world()
+        faults = FaultInjector()
+        faults.schedule(FaultKind.OVERSIZED, self.URI, file_name="a.roa")
+        result = self.fetcher(registry, faults).fetch_point(self.URI)
+        bomb = result.files["a.roa"]
+        assert bomb == nested_bomb()
+        assert len(bomb) > 16 << 10        # past the parse-memo size guard
+        assert result.files["b.roa"] == b"roa-b-v1"
+
+    def test_applied_log_is_bounded(self):
+        faults = FaultInjector(applied_limit=3)
+        faults.schedule(
+            FaultKind.DROP, self.URI, file_name="a.roa", count=PERSISTENT
+        )
+        registry, _ = self.make_world()
+        fetcher = self.fetcher(registry, faults)
+        for _ in range(5):
+            fetcher.fetch_point(self.URI)
+        assert len(faults.applied) == 3
+        assert faults.applied_dropped == 2
+        assert faults.applied[-1] == (self.URI, "a.roa", FaultKind.DROP)
+
+    def test_bad_applied_limit_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(applied_limit=0)
 
 
 class TestLocalCache:

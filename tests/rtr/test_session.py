@@ -194,6 +194,80 @@ class TestFailureModes:
             RtrCacheServer(history_window=0)
 
 
+class TestMalformedPduHandling:
+    """RFC 6810 §10: malformed bytes get an Error Report, then the drop."""
+
+    def make_instrumented_pair(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        server = RtrCacheServer(metrics=registry)
+        server.update(vrps(*FIGURE2))
+        pipe = DuplexPipe()
+        server.attach(pipe)
+        client = RtrRouterClient(pipe)
+        return server, client, registry
+
+    def test_malformed_bytes_drop_session_not_server(self):
+        server, client, registry = self.make_instrumented_pair()
+        client.connect()
+        pump(server, client)
+        client.pipe.to_cache.send(b"\x99\x00\x00\x07chaos!")
+        server.process()  # must not raise
+        client.process()
+        assert client.state is RouterState.FAILED
+        errors = registry.get("repro_rtr_errors_total")
+        assert errors.value(kind="decode") == 1
+
+    def test_error_report_sent_before_drop(self):
+        from repro.rtr import ErrorReport, decode_pdus
+
+        server, client, _ = self.make_instrumented_pair()
+        client.connect()
+        pump(server, client)
+        client.pipe.to_cache.send(b"\xff" * 9)
+        server.process()
+        raw = client.pipe.to_router.receive()
+        pdus, _ = decode_pdus(raw)
+        assert any(isinstance(p, ErrorReport) for p in pdus)
+
+    def test_dead_session_ignored_afterwards(self):
+        server, client, registry = self.make_instrumented_pair()
+        client.connect()
+        pump(server, client)
+        client.pipe.to_cache.send(b"\x99garbage")
+        server.process()
+        # More garbage on the dead session must be a no-op, not a
+        # second error.
+        client.pipe.to_cache.send(b"\x99more-garbage")
+        server.process()
+        errors = registry.get("repro_rtr_errors_total")
+        assert errors.value(kind="decode") == 1
+
+    def test_fresh_session_survives_a_poisoned_sibling(self):
+        server, bad, registry = self.make_instrumented_pair()
+        bad.connect()
+        pump(server, bad)
+        bad.pipe.to_cache.send(b"\x99\x00bad")
+        server.process()
+        pipe = DuplexPipe()
+        server.attach(pipe)
+        good = RtrRouterClient(pipe)
+        good.connect()
+        pump(server, good)
+        assert good.state is RouterState.SYNCED
+        assert good.vrp_set() == vrps(*FIGURE2)
+
+    def test_protocol_violation_counted(self):
+        from repro.rtr import CacheResponse, encode_pdu
+
+        server, client, registry = self.make_instrumented_pair()
+        client.pipe.to_cache.send(encode_pdu(CacheResponse(1)))
+        server.process()
+        errors = registry.get("repro_rtr_errors_total")
+        assert errors.value(kind="protocol") == 1
+
+
 class TestEndToEndWithRelyingParty:
     def test_whack_reaches_the_router(self):
         """Full pipeline: repositories -> relying party -> RTR -> router."""

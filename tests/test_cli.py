@@ -103,6 +103,21 @@ class TestCli:
         assert len(churn_rows) == 1
         assert 0 < int(churn_rows[0][2]) < 20
 
+    def test_chaos_smoke(self, capsys):
+        out = run(capsys, "chaos", "--seed", "7", "--cycles", "3")
+        assert "Chaos campaign: seed 7, 3 cycles" in out
+        assert "invariants: safety, equivalence, no-crash — held every cycle" \
+            in out
+        # The staged misbehavior must be detected and shrunk to a minimal
+        # reproducer of at most 3 faults.
+        assert "staged misbehavior" in out
+        assert "detected -> " in out
+        assert "safety" in out
+        shrunk = [l for l in out.splitlines() if "shrunk the" in l]
+        assert len(shrunk) == 1
+        minimal = int(shrunk[0].split(" plan to ")[1].split()[0])
+        assert 1 <= minimal <= 3
+
     def test_perf_emit_metrics(self, capsys):
         out = run(capsys, "perf", "--epochs", "3", "--emit-metrics")
         assert "repro_incremental_verify_memo_total" in out

@@ -87,3 +87,48 @@ def test_lint_accepts_function_scoped_pool(tmp_path):
         "        return pool.map_batches(verify_batch, jobs)\n"
     )
     assert check_telemetry_names.check_file(good) == []
+
+
+def test_lint_catches_silent_broad_except(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "try:\n"
+        "    risky()\n"
+        "except Exception:\n"
+        "    pass\n"
+    )
+    problems = check_telemetry_names.check_file(bad)
+    assert len(problems) == 1 and "swallow" in problems[0]
+
+
+def test_lint_catches_bare_except_pass_and_tuple_form(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "try:\n"
+        "    risky()\n"
+        "except:\n"
+        "    pass\n"
+        "try:\n"
+        "    risky()\n"
+        "except (ValueError, BaseException):\n"
+        "    pass\n"
+    )
+    problems = check_telemetry_names.check_file(bad)
+    assert len(problems) == 2
+    assert "bare except" in problems[0]
+
+
+def test_lint_accepts_broad_except_that_contains(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(
+        "for item in items:\n"
+        "    try:\n"
+        "        handle(item)\n"
+        "    except Exception:\n"
+        "        continue\n"
+        "try:\n"
+        "    risky()\n"
+        "except ValueError:\n"
+        "    pass\n"  # narrow except: pass is allowed
+    )
+    assert check_telemetry_names.check_file(good) == []

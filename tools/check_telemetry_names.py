@@ -26,6 +26,14 @@ Statically checks every module under ``src/repro``:
    every importer, and breaks the worker-isolation guarantee of
    :mod:`repro.parallel`.
 
+4. **No silent broad excepts.**  A handler over ``Exception`` /
+   ``BaseException`` (or a bare ``except:``) whose body is a lone
+   ``pass`` swallows failures without a trace — exactly the pattern the
+   chaos campaign's containment contract forbids.  Broad handlers are
+   fine when they *do* something (quarantine the object, record a
+   degradation, ``continue`` a loop); silently discarding the exception
+   is not.
+
 Run directly (``python tools/check_telemetry_names.py``, exit 1 on
 problems) or via the tier-1 test ``tests/test_telemetry_lint.py``.
 """
@@ -106,6 +114,16 @@ def check_file(path: pathlib.Path) -> list[str]:
                 f"time.{node.func.attr}() — use the simulated Clock "
                 "(repro.simtime) so telemetry stays deterministic"
             )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and _is_silent_broad(node):
+            caught = "bare except" if node.type is None else (
+                f"except {ast.unparse(node.type)}"
+            )
+            problems.append(
+                f"{rel}:{node.lineno}: {caught}: pass — broad handlers "
+                "must contain the failure (quarantine, record, continue), "
+                "never silently swallow it"
+            )
     for node in _module_level_calls(tree):
         name = _call_name(node)
         if name in POOL_FACTORIES:
@@ -115,6 +133,28 @@ def check_file(path: pathlib.Path) -> list[str]:
                 "constructed at import time"
             )
     return problems
+
+
+def _is_silent_broad(handler: ast.ExceptHandler) -> bool:
+    """True for ``except Exception: pass`` and friends.
+
+    Broad means a bare ``except:`` or one naming ``Exception`` /
+    ``BaseException`` (possibly in a tuple); silent means the body is
+    exactly one ``pass`` statement.
+    """
+    if not (len(handler.body) == 1 and isinstance(handler.body[0], ast.Pass)):
+        return False
+    caught = handler.type
+    if caught is None:
+        return True
+    types = caught.elts if isinstance(caught, ast.Tuple) else [caught]
+    broad = {"Exception", "BaseException"}
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in broad:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in broad:
+            return True
+    return False
 
 
 def _module_level_calls(tree: ast.Module):
