@@ -49,7 +49,7 @@ def _incremental_rp(world) -> RelyingParty:
         world.trust_anchors,
         Fetcher(world.registry, world.clock),
         world.clock,
-        incremental=True,
+        mode="incremental",
     )
 
 

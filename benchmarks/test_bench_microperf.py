@@ -10,7 +10,7 @@ import random
 
 from repro.crypto import generate_keypair
 from repro.resources import ASN, Afi, Prefix, PrefixTrie
-from repro.rp import VRP, Route, VrpSet, classify
+from repro.rp import VRP, Route, VrpSet, validate
 
 
 def build_vrp_set(count=500, seed=3):
@@ -38,7 +38,8 @@ def test_origin_validation_throughput(benchmark):
         ))
 
     def classify_all():
-        return [classify(route, vrps) for route in routes]
+        return [validate(route.prefix, route.origin, vrps).state
+                for route in routes]
 
     states = benchmark(classify_all)
     assert len(states) == 1000

@@ -27,7 +27,7 @@ from repro.bgp import (
     subprefix_hijack,
 )
 from repro.resources import ASN
-from repro.rp import VRP, VrpSet, classify
+from repro.rp import VRP, VrpSet, validate
 
 ADOPTION_LEVELS = (0.0, 0.25, 0.5, 0.75, 1.0)
 TOPOLOGY_SEEDS = (1, 2, 3)
@@ -42,7 +42,8 @@ def run_sweep():
         rng = random.Random(seed)
         victim, attacker = topo.random_stub_pair(rng)
         vrps = VrpSet([VRP.parse("10.4.0.0/16", int(victim))])
-        validity = lambda route: classify(route, vrps)  # noqa: E731
+        validity = lambda route: validate(  # noqa: E731
+            route.prefix, route.origin, vrps).state
         hijack = subprefix_hijack("10.4.0.0/16", int(victim), int(attacker))
         all_ases = list(topo.graph.ases())
         observers = [a for a in all_ases if a not in (victim, attacker)]

@@ -28,7 +28,7 @@ from repro.bgp import (
     subprefix_hijack,
 )
 from repro.core import TradeoffScenario, run_tradeoff
-from repro.rp import VRP, VrpSet, classify
+from repro.rp import VRP, VrpSet, validate
 
 
 def build_graph():
@@ -51,7 +51,8 @@ def test_selective_drop_wins_both_columns(benchmark):
         results = {}
         # Case A: subprefix hijack with the RPKI intact.
         vrps_intact = VrpSet([scenario.covering_vrp, scenario.victim_vrp])
-        validity = lambda route: classify(route, vrps_intact)  # noqa: E731
+        validity = lambda route: validate(  # noqa: E731
+            route.prefix, route.origin, vrps_intact).state
         policies = policy_table(
             list(graph.ases()), LocalPolicy.SELECTIVE_DROP, validity
         )
@@ -64,7 +65,8 @@ def test_selective_drop_wins_both_columns(benchmark):
         )
         # Case B: the victim's ROA whacked, covering ROA survives.
         vrps_whacked = VrpSet([scenario.covering_vrp])
-        validity_b = lambda route: classify(route, vrps_whacked)  # noqa: E731
+        validity_b = lambda route: validate(  # noqa: E731
+            route.prefix, route.origin, vrps_whacked).state
         policies_b = policy_table(
             list(graph.ases()), LocalPolicy.SELECTIVE_DROP, validity_b
         )
@@ -92,7 +94,8 @@ def test_selective_drop_residual_weakness(benchmark):
         # The victim's ROA is whacked; covering ROA also gone (or the
         # hijack targets space with no valid covering route at all).
         vrps = VrpSet([])  # total whack: no VRPs survive
-        validity = lambda route: classify(route, vrps)  # noqa: E731
+        validity = lambda route: validate(  # noqa: E731
+            route.prefix, route.origin, vrps).state
         policies = policy_table(
             list(graph.ases()), LocalPolicy.SELECTIVE_DROP, validity
         )

@@ -17,7 +17,7 @@ Run:  python examples/rtr_feed.py
 from repro.core import execute_whack, plan_whack
 from repro.modelgen import build_figure2
 from repro.repository import Fetcher
-from repro.rp import RelyingParty, Route, classify
+from repro.rp import RelyingParty, validate
 from repro.rtr import DuplexPipe, RtrCacheServer, RtrRouterClient
 
 
@@ -29,7 +29,7 @@ def pump(cache, routers, rounds=4):
 
 
 def show_router(name, router):
-    state = classify(Route.parse("63.174.16.0/20", 17054), router.vrp_set())
+    state = validate("63.174.16.0/20", 17054, router.vrp_set()).state
     print(f"  {name}: state={router.state.value} serial={router.serial} "
           f"vrps={router.vrp_count} | (63.174.16.0/20, AS17054) -> "
           f"{state.value}")

@@ -13,6 +13,7 @@ Layering (import order is strictly bottom-up)::
     telemetry / simtime (substrate: metrics, simulated time)
     resources -> crypto -> rpki -> repository -> rp -> bgp -> rtr
                         \\- parallel (worker pools; used by rp and modelgen)
+                                   \\- api (the origin-validation query plane)
                                    \\------------ core / monitor / jurisdiction
                                                   modelgen (fixtures & generators)
                                                   chaos (fault campaigns over all of it)
@@ -33,10 +34,28 @@ as internals move.  Telemetry (``default_registry``, ``MetricsRegistry``,
 ``trace``) is part of the facade and its *metric names* are likewise a
 stability guarantee — see docs/telemetry.md.
 
+``__all__`` is kept **sorted and complete** — every re-export appears in
+it exactly once, every name resolves, and every name is documented in
+docs/API.md.  ``tools/check_facade.py`` enforces all three in tier-1, so
+the facade cannot drift from its documentation.
+
 See DESIGN.md for the full system inventory and the experiment index that
 maps every figure and table of the paper to a benchmark.
 """
 
+from .api import (
+    ApiConfig,
+    ApiResponse,
+    CacheStats,
+    HistoryEntry,
+    QueryService,
+    QueryStatus,
+    RateLimitConfig,
+    ResponseCache,
+    ShardRouter,
+    TokenBucket,
+    VrpDiff,
+)
 from .chaos import (
     CampaignConfig,
     CampaignResult,
@@ -102,9 +121,11 @@ from .repository import (
 )
 from .resources import ASN, Afi, Prefix, PrefixTrie, ResourceSet
 from .rp import (
+    ENGINE_MODES,
     VRP,
     DegradationReport,
     IncrementalState,
+    OriginValidationOutcome,
     PathValidator,
     RefreshReport,
     RelyingParty,
@@ -114,6 +135,7 @@ from .rp import (
     ValidationRun,
     VrpSet,
     classify,
+    validate,
 )
 from .rpki import CertificateAuthority, ResourceCertificate, Roa
 from .rtr import DuplexPipe, RtrCacheServer, RtrRouterClient
@@ -129,50 +151,34 @@ from .telemetry import (
     trace,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
+# Sorted, complete, and drift-checked (tools/check_facade.py).
 __all__ = [
-    "__version__",
-    # simulated time
-    "Clock", "DAY", "HOUR", "YEAR",
-    # telemetry
-    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Span",
-    "default_registry", "reset_default_metrics", "trace",
-    # resources
-    "ASN", "Afi", "Prefix", "PrefixTrie", "ResourceSet",
-    # crypto
-    "KeyFactory", "generate_keypair",
-    # rpki objects & authorities
-    "CertificateAuthority", "ResourceCertificate", "Roa",
-    # repositories & delivery
-    "BYZANTINE_KINDS", "FaultInjector", "FaultKind", "FetchResult",
-    "FetchStatus", "Fetcher", "LocalCache", "PERSISTENT",
-    "RepositoryRegistry", "RepositoryServer", "RsyncUri", "always_reachable",
-    "nested_bomb",
-    # delivery resilience (retry/backoff, breakers, stale-cache grace)
-    "BreakerPolicy", "BreakerState", "CacheFreshness", "CircuitBreaker",
-    "ResilienceConfig", "RetryPolicy",
-    # relying party
-    "DegradationReport", "IncrementalState", "PathValidator",
-    "RefreshReport", "RelyingParty", "Route", "RouteValidity",
-    "SuspendersRelyingParty", "VRP", "ValidationRun", "VrpSet", "classify",
-    # parallel validation engine
-    "ParallelEngine", "WorkerPool", "prefill_keys",
-    # rtr
-    "DuplexPipe", "RtrCacheServer", "RtrRouterClient",
-    # model fixtures
-    "DeploymentConfig", "Figure2World", "build_deployment", "build_figure2",
-    "build_table4_world", "expected_keypairs", "figure2_bgp",
-    # the paper's contribution
-    "ClosedLoopSimulation", "collateral_of_revocation", "demonstrate_all",
-    "execute_whack", "missing_roa_impact", "plan_whack", "validity_matrix",
+    "ASN", "Afi", "ApiConfig", "ApiResponse", "BYZANTINE_KINDS",
+    "BreakerPolicy", "BreakerState", "CacheFreshness", "CacheStats",
+    "CampaignConfig", "CampaignResult", "CertificateAuthority", "ChurnConfig",
+    "ChurnEngine", "CircuitBreaker", "Clock", "ClosedLoopSimulation",
+    "Counter", "DAY", "DegradationReport", "DeploymentConfig",
+    "DetectionExperiment", "DuplexPipe", "ENGINE_MODES", "FaultInjector",
+    "FaultKind", "FaultPlan", "FetchResult", "FetchStatus", "Fetcher",
+    "Figure2World", "Gauge", "HOUR", "Histogram", "HistoryEntry",
+    "IncrementalState", "KeyFactory", "LocalCache", "MetricsRegistry",
+    "OriginValidationOutcome", "PERSISTENT", "ParallelEngine", "PathValidator",
+    "PlannedFault", "Prefix", "PrefixTrie", "QueryService", "QueryStatus",
+    "RateLimitConfig", "RefreshReport", "RelyingParty", "RepositoryRegistry",
+    "RepositoryServer", "ResilienceConfig", "ResourceCertificate",
+    "ResourceSet", "ResponseCache", "RetryPolicy", "Roa", "Route",
+    "RouteValidity", "RsyncUri", "RtrCacheServer", "RtrRouterClient",
+    "ShardRouter", "Span", "StallConfig", "StallDetector",
+    "SuspendersRelyingParty", "TokenBucket", "VRP", "ValidationRun",
+    "Violation", "VrpDiff", "VrpSet", "WorkerPool", "YEAR", "__version__",
+    "always_reachable", "analyze", "build_deployment", "build_figure2",
+    "build_plan", "build_table4_world", "classify", "collateral_of_revocation",
+    "cross_border_audit", "default_registry", "demonstrate_all",
+    "diff_snapshots", "execute_whack", "expected_keypairs", "figure2_bgp",
+    "generate_keypair", "missing_roa_impact", "nested_bomb", "plan_whack",
+    "prefill_keys", "render_table4", "reset_default_metrics", "run_campaign",
+    "shrink_plan", "take_snapshot", "trace", "validate", "validity_matrix",
     "whack_blast_radius",
-    # monitoring
-    "ChurnConfig", "ChurnEngine", "DetectionExperiment", "StallConfig",
-    "StallDetector", "analyze", "diff_snapshots", "take_snapshot",
-    # jurisdiction
-    "cross_border_audit", "render_table4",
-    # chaos campaigns
-    "CampaignConfig", "CampaignResult", "FaultPlan", "PlannedFault",
-    "Violation", "build_plan", "run_campaign", "shrink_plan",
 ]

@@ -1,0 +1,117 @@
+"""N-shard request routing with per-shard telemetry.
+
+A production query plane spreads request handling across shards; here the
+shards are logical partitions — each owns a slice of the bounded response
+cache and its own telemetry children — and routing is a deterministic
+CRC32 of the query key (``zlib.crc32``, *not* ``hash()``, which is
+salted per process and would unbalance replayed runs).
+
+Per-shard metrics (all on the service's registry):
+
+- ``repro_api_requests_total{shard,kind,status}`` — requests handled,
+  by endpoint and outcome (``ok`` / ``rate-limited`` / ``unknown-serial``).
+- ``repro_api_cache_total{shard,result}`` — response-cache hits/misses.
+- ``repro_api_response_vrps{shard}`` — histogram of VRPs per answer, the
+  shard's work/response-size distribution.
+
+Counter children are bound once per (shard, kind, status) at first use so
+the per-query hot path is a single attribute increment — the same trick
+the fetch pipeline uses to stay under the telemetry overhead budget.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..telemetry import MetricsRegistry
+from .cache import ResponseCache
+
+__all__ = ["Shard", "ShardRouter"]
+
+# Response-size buckets: answers are usually a handful of VRPs; the tail
+# (lookup_asn over a big holder) is what the histogram is for.
+RESPONSE_VRP_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0,
+                                           64.0, 256.0)
+
+
+class Shard:
+    """One logical partition: a cache slice plus bound metric children."""
+
+    __slots__ = ("index", "cache", "_requests", "_cache_metric",
+                 "_histogram", "_bound_requests", "_bound_cache")
+
+    def __init__(self, index: int, cache_capacity: int,
+                 metrics: MetricsRegistry):
+        self.index = index
+        self.cache = ResponseCache(cache_capacity)
+        self._requests = metrics.counter(
+            "repro_api_requests_total",
+            help="query-plane requests, by shard, endpoint kind, and outcome",
+            labelnames=("shard", "kind", "status"),
+        )
+        self._cache_metric = metrics.counter(
+            "repro_api_cache_total",
+            help="response-cache lookups, by shard and result",
+            labelnames=("shard", "result"),
+        )
+        self._histogram = metrics.histogram(
+            "repro_api_response_vrps",
+            buckets=RESPONSE_VRP_BUCKETS,
+            help="VRPs per served answer (per-shard response-size "
+                 "distribution)",
+            labelnames=("shard",),
+        ).labels(shard=str(index))
+        self._bound_requests: dict[tuple[str, str], object] = {}
+        self._bound_cache = {
+            result: self._cache_metric.labels(shard=str(index), result=result)
+            for result in ("hit", "miss")
+        }
+
+    def count_request(self, kind: str, status: str) -> None:
+        child = self._bound_requests.get((kind, status))
+        if child is None:
+            child = self._bound_requests[(kind, status)] = (
+                self._requests.labels(
+                    shard=str(self.index), kind=kind, status=status
+                )
+            )
+        child.inc()
+
+    def count_cache(self, result: str) -> None:
+        self._bound_cache[result].inc()
+
+    def observe_response_size(self, vrps: int) -> None:
+        self._histogram.observe(float(vrps))
+
+
+class ShardRouter:
+    """Deterministic query-key → shard routing over *shards* partitions."""
+
+    __slots__ = ("shards",)
+
+    def __init__(self, shards: int, cache_capacity: int,
+                 metrics: MetricsRegistry):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        # Split the cache budget across shards, at least one entry each.
+        per_shard = max(1, cache_capacity // shards)
+        self.shards = tuple(
+            Shard(index, per_shard, metrics) for index in range(shards)
+        )
+
+    def route(self, query_key: str) -> Shard:
+        """The owning shard for *query_key* (stable across processes)."""
+        digest = zlib.crc32(query_key.encode("utf-8"))
+        return self.shards[digest % len(self.shards)]
+
+    def cache_stats(self):
+        """Aggregated (hits, misses, evictions) across every shard."""
+        hits = misses = evictions = 0
+        for shard in self.shards:
+            hits += shard.cache.stats.hits
+            misses += shard.cache.stats.misses
+            evictions += shard.cache.stats.evictions
+        return hits, misses, evictions
+
+    def __len__(self) -> int:
+        return len(self.shards)

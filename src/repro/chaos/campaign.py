@@ -132,7 +132,7 @@ class _Variant:
         )
         self.rp = RelyingParty(
             world.trust_anchors, fetcher,
-            incremental=(name == "incremental"),
+            mode=(name if name in ("incremental", "parallel") else "serial"),
             workers=(config.workers if name == "parallel" else 0),
             metrics=self.metrics,
         )

@@ -16,13 +16,18 @@
     python -m repro perf            # cold vs. warm incremental revalidation
     python -m repro refresh         # one refresh cycle, optionally parallel
     python -m repro chaos           # Byzantine fault campaign + shrink demo
+    python -m repro api             # the origin-validation query plane
     python -m repro all             # everything, in order
 
 Every command is deterministic (fixed seeds) and prints a self-contained
-text artifact; the same computations back the pytest benchmarks.  Adding
-``--emit-metrics`` (optionally ``--json``) to any command appends the
-rendered telemetry registry — see docs/telemetry.md for the metric
-inventory.
+text artifact; the same computations back the pytest benchmarks.  Every
+command accepts the same option trio: ``--emit-metrics`` / ``--json``
+appends the rendered telemetry registry (see docs/telemetry.md for the
+metric inventory), ``--seed N`` reseeds whatever randomness the command
+consumes, and ``--scale small|medium|large`` sizes its generated
+deployment.  Commands pinned to the paper's hand-built fixtures (fig2,
+fig5, tab4, ...) accept the trio for uniformity but regenerate the
+published artifact regardless of seed or scale.
 """
 
 from __future__ import annotations
@@ -63,6 +68,18 @@ def _build_rp(world, **opts):
         world.trust_anchors, fetcher,
         metrics=fetcher.metrics, **opts,
     )
+
+
+def _seed(args, default: int) -> int:
+    """The command's seed: ``--seed`` when given, its pinned default else."""
+    value = getattr(args, "seed", None)
+    return default if value is None else value
+
+
+def _scale(args, default: str) -> str:
+    """The command's deployment scale, same resolution as :func:`_seed`."""
+    value = getattr(args, "scale", None)
+    return default if value is None else value
 
 
 # ---------------------------------------------------------------------------
@@ -191,7 +208,7 @@ def cmd_se7(args) -> None:
     world = build_figure2()
     world.sprint.issue_roa(1239, "63.160.0.0/12-13")
     graph, originations, rp_asn = figure2_bgp()
-    faults = FaultInjector(seed=7)
+    faults = FaultInjector(seed=_seed(args, 7))
     loop = ClosedLoopSimulation(
         registry=world.registry, authorities=[world.arin],
         graph=graph, originations=originations, rp_asn=rp_asn,
@@ -217,7 +234,7 @@ def cmd_se7(args) -> None:
                      "PERSISTENT FAILURE (manual intervention required)"))
 
 
-def cmd_monitor(_args) -> None:
+def cmd_monitor(args) -> None:
     from .core import execute_whack, plan_whack
     from .modelgen import build_figure2
     from .monitor import ChurnConfig, ChurnEngine, DetectionExperiment
@@ -226,7 +243,7 @@ def cmd_monitor(_args) -> None:
     churn = ChurnEngine(
         world.authorities(),
         config=ChurnConfig(sloppy_delete_prob=0.5),
-        seed=11,
+        seed=_seed(args, 11),
         protected={world.target20.describe(), world.target22.describe()},
     )
     experiment = DetectionExperiment(
@@ -279,7 +296,7 @@ def cmd_resilience(args) -> None:
 
     def run_variant(resilient: bool) -> tuple[list[str], int]:
         world = build_figure2()
-        faults = FaultInjector(seed=17)
+        faults = FaultInjector(seed=_seed(args, 17))
         if resilient:
             fetcher = Fetcher(world.registry, world.clock, faults=faults,
                               resilience=config)
@@ -349,7 +366,8 @@ def cmd_refresh(args) -> None:
     from .modelgen import DeploymentConfig, build_deployment
     from .simtime import HOUR
 
-    config = DeploymentConfig(seed=21, **_REFRESH_SCALES[args.scale])
+    scale = _scale(args, "medium")
+    config = DeploymentConfig(seed=_seed(args, 21), **_REFRESH_SCALES[scale])
     world = build_deployment(config, workers=args.workers)
     rp = _build_rp(world, workers=args.workers)
     registry = rp.metrics
@@ -357,7 +375,7 @@ def cmd_refresh(args) -> None:
     report = rp.refresh()
     mode = (f"parallel ({args.workers} workers)" if args.workers
             else "serial")
-    print(f"One {mode} refresh over the {args.scale!r} deployment\n")
+    print(f"One {mode} refresh over the {scale!r} deployment\n")
     print(f"deployment: {world.roa_count()} ROAs across "
           f"{len(world.authorities())} authorities "
           f"(suballocation depth {config.suballocation_depth})")
@@ -385,10 +403,13 @@ def cmd_perf(args) -> None:
     from .modelgen import DeploymentConfig, build_deployment
     from .simtime import HOUR
 
-    world = build_deployment(
-        DeploymentConfig(isps_per_rir=6, customers_per_isp=2, seed=21)
-    )
-    rp = _build_rp(world, incremental=True)
+    # --scale swaps in the shared deployment shapes; the default keeps
+    # the historical perf deployment (6 ISPs/RIR, 2 customers each).
+    shape = (_REFRESH_SCALES[args.scale] if getattr(args, "scale", None)
+             else dict(isps_per_rir=6, customers_per_isp=2))
+    config = DeploymentConfig(seed=_seed(args, 21), **shape)
+    world = build_deployment(config)
+    rp = _build_rp(world, mode="incremental")
     registry = rp.metrics
     par_rp = None
     par_world = None
@@ -396,9 +417,7 @@ def cmd_perf(args) -> None:
         # An identically seeded second world for the parallel engine;
         # both relying parties book verifications into the same default
         # registry, so the deltas are taken around each refresh in turn.
-        par_world = build_deployment(
-            DeploymentConfig(isps_per_rir=6, customers_per_isp=2, seed=21)
-        )
+        par_world = build_deployment(config)
         par_rp = _build_rp(par_world, workers=args.workers)
 
     def verify_total() -> float:
@@ -494,7 +513,7 @@ def cmd_perf(args) -> None:
 def cmd_chaos(args) -> None:
     from .chaos import CampaignConfig, run_campaign, shrink_plan
 
-    config = CampaignConfig(seed=args.seed, cycles=args.cycles)
+    config = CampaignConfig(seed=_seed(args, 7), cycles=args.cycles)
     print(f"Chaos campaign: seed {config.seed}, {config.cycles} cycles — "
           "serial vs incremental vs\nparallel relying parties plus an RTR "
           "router, under one seeded fault plan\n")
@@ -532,6 +551,77 @@ def cmd_chaos(args) -> None:
     print(minimal.describe())
 
 
+def cmd_api(args) -> None:
+    from .api import ApiConfig, QueryService, RateLimitConfig
+    from .modelgen import DeploymentConfig, build_deployment
+    from .simtime import HOUR
+
+    scale = _scale(args, "small")
+    config = DeploymentConfig(seed=_seed(args, 7), **_REFRESH_SCALES[scale])
+    world = build_deployment(config)
+    rp = _build_rp(world, mode="incremental")
+    # The unthrottled service for the classification and diff sections;
+    # rate limiting gets its own dedicated demo below.
+    service = QueryService(rp, config=ApiConfig(
+        shards=4, cache_capacity=4096, rate_limit=None,
+    ))
+    world.clock.advance(HOUR)
+    service.refresh()
+    vrps = sorted(rp.vrps)
+    print(f"Origin-validation query plane over the {scale!r} deployment "
+          f"(seed {config.seed})\n")
+    print(f"epoch serial {service.serial}: {len(vrps)} VRPs, "
+          f"content hash {service.content_hash[:16]}..., "
+          f"{service.shard_count} shards")
+
+    print("\n== RFC 6811 classification (every VRP, then a forged origin) ==")
+    states = {"valid": 0, "invalid": 0, "unknown": 0}
+    for pass_number in (1, 2):
+        for vrp in vrps:
+            response = service.validate_route(vrp.prefix, vrp.asn)
+            if pass_number == 1:
+                states[response.payload.state.value] += 1
+        forged = service.validate_route(vrps[0].prefix, 64666)
+        if pass_number == 1:
+            states[forged.payload.state.value] += 1
+    hits, misses, _evictions = service.cache_stats()
+    print(f"states: {states['valid']} valid, {states['invalid']} invalid, "
+          f"{states['unknown']} unknown "
+          f"(forged origin AS64666 -> {forged.payload.state.value})")
+    print(f"two identical passes: {hits} cache hits / {misses} misses "
+          "(second pass served entirely from cache)")
+
+    print("\n== per-client rate limiting (token bucket, simulated clock) ==")
+    limited = QueryService(rp, config=ApiConfig(
+        rate_limit=RateLimitConfig(capacity=8, refill_per_second=1),
+    ))
+    burst = [limited.lookup_asn(int(vrps[0].asn), client="noisy").status
+             for _ in range(12)]
+    print(f"burst of 12 (capacity 8): {burst.count('ok')} ok, "
+          f"{burst.count('rate-limited')} rate-limited")
+    world.clock.advance(4)
+    recovered = limited.lookup_asn(int(vrps[0].asn), client="noisy").status
+    print(f"4 simulated seconds later (refill 1/s): {recovered}")
+
+    print("\n== ROA whack, observed through the diff endpoint ==")
+    whacked_ca = next(ca for ca in world.authorities() if ca.issued_roas)
+    roa_name = next(iter(whacked_ca.issued_roas))
+    whacked_ca.revoke_roa(roa_name)
+    world.clock.advance(HOUR)
+    service.refresh()
+    diff = service.diff(1).payload
+    print(f"revoked {roa_name} at {whacked_ca.handle}; "
+          f"serial {diff.from_serial} -> {diff.to_serial}")
+    for vrp in diff.removed:
+        print(f"  removed {vrp}")
+    for vrp in diff.added:
+        print(f"  added   {vrp}")
+    history = service.history().payload
+    print("epoch history: " + ", ".join(
+        f"serial {entry.serial} ({entry.vrp_count} VRPs)"
+        for entry in history))
+
+
 def cmd_sideeffects(_args) -> None:
     from .core import demonstrate_all
 
@@ -567,6 +657,7 @@ _COMMANDS: dict[str, Callable] = {
     "perf": cmd_perf,
     "refresh": cmd_refresh,
     "chaos": cmd_chaos,
+    "api": cmd_api,
     "all": cmd_all,
 }
 
@@ -576,19 +667,33 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the paper's tables and figures.",
     )
-    telemetry = argparse.ArgumentParser(add_help=False)
-    telemetry.add_argument(
+    # The shared option trio: every subcommand accepts --json (telemetry
+    # rendering), --seed, and --scale, resolved against per-command
+    # pinned defaults by _seed()/_scale().
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
         "--emit-metrics", action="store_true",
         help="append the rendered telemetry registry to the artifact",
     )
-    telemetry.add_argument(
+    common.add_argument(
         "--json", action="store_true",
         help="render the telemetry registry as JSON (implies --emit-metrics)",
+    )
+    common.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="reseed the command's randomness (fault plans, churn, "
+             "generated deployments); commands pinned to the paper's "
+             "fixtures regenerate the published artifact regardless",
+    )
+    common.add_argument(
+        "--scale", choices=sorted(_REFRESH_SCALES), default=None,
+        help="deployment size for commands that generate one (refresh, "
+             "perf, api); ignored by the paper-pinned fixtures",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name in _COMMANDS:
         sub = subparsers.add_parser(
-            name, parents=[telemetry], help=f"run the {name} experiment",
+            name, parents=[common], help=f"run the {name} experiment",
         )
         if name in ("fig5", "all"):
             sub.add_argument(
@@ -614,17 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
                 help="worker processes for the parallel validation engine "
                      "(0 = serial, the default)",
             )
-        if name in ("refresh", "all"):
-            sub.add_argument(
-                "--scale", choices=sorted(_REFRESH_SCALES),
-                default="medium",
-                help="deployment size for the refresh cycle",
-            )
         if name in ("chaos", "all"):
-            sub.add_argument(
-                "--seed", type=int, default=7,
-                help="campaign seed (fault plan, churn, RTR chaos)",
-            )
             sub.add_argument(
                 "--cycles", type=int, default=20,
                 help="refresh cycles to run in the chaos campaign",
@@ -658,10 +753,6 @@ def main(argv: list[str] | None = None) -> int:
         args.epochs = 6
     if not hasattr(args, "workers"):
         args.workers = 0
-    if not hasattr(args, "scale"):
-        args.scale = "medium"
-    if not hasattr(args, "seed"):
-        args.seed = 7
     if not hasattr(args, "cycles"):
         args.cycles = 20
     try:

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 from ..bgp import Origination
 from ..repository import RepositoryRegistry
-from ..rp import VRP, Route, RouteValidity, VrpSet, classify
+from ..rp import VRP, Route, RouteValidity, VrpSet, validate
 from ..rpki import CertificateAuthority
 from .circular import RepositoryDependencyGraph
 from .missing import safe_issuance_order
@@ -90,9 +90,9 @@ def plan_rollout(
     for vrp in plan.steps:
         state.add(vrp)
         for route in announced_routes:
-            before = classify(route, existing)
-            now_state = classify(route, state)
-            end_state = classify(route, final)
+            before = validate(route.prefix, route.origin, existing).state
+            now_state = validate(route.prefix, route.origin, state).state
+            end_state = validate(route.prefix, route.origin, final).state
             if (
                 before is not RouteValidity.INVALID
                 and now_state is RouteValidity.INVALID

@@ -37,7 +37,7 @@ from ..bgp import (
 )
 from ..repository import Fetcher, FaultInjector, HostLocator, RepositoryRegistry
 from ..resources import ASN, format_address
-from ..rp import RelyingParty, Route, RouteValidity, VrpSet, classify
+from ..rp import RelyingParty, Route, RouteValidity, VrpSet, validate
 from ..rpki import CertificateAuthority
 from ..simtime import Clock
 from .whack import subtree_roas
@@ -276,7 +276,8 @@ class ClosedLoopSimulation:
 
     def _recompute_routing(self) -> None:
         vrps = self.rp.vrps
-        validity = lambda route: classify(route, vrps)  # noqa: E731
+        validity = lambda route: validate(  # noqa: E731
+            route.prefix, route.origin, vrps).state
         policies = policy_table(
             list(self.graph.ases()), self.policy, validity
         )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..rp import VRP, Route, RouteValidity, VrpSet, classify
+from ..rp import VRP, Route, RouteValidity, VrpSet, validate
 
 __all__ = [
     "RoaRemovalImpact",
@@ -54,7 +54,7 @@ def missing_roa_impact(vrps: VrpSet, removed: VRP) -> RoaRemovalImpact:
     """
     survivors = _without(vrps, removed)
     route = Route(removed.prefix, removed.asn)
-    state = classify(route, survivors)
+    state = validate(route.prefix, route.origin, survivors).state
     covering = tuple(survivors.covering(removed.prefix))
     return RoaRemovalImpact(
         vrp=removed, resulting_state=state, covering_survivors=covering
@@ -91,8 +91,8 @@ def new_roa_impact(
     for prefix in new.prefix.subprefixes(probe_length):
         probes += 1
         route = Route(prefix, OTHER_ORIGIN)
-        was = classify(route, vrps)
-        now = classify(route, after)
+        was = validate(route.prefix, route.origin, vrps).state
+        now = validate(route.prefix, route.origin, after).state
         if was is RouteValidity.UNKNOWN and now is RouteValidity.INVALID:
             flipped += 1
     return NewRoaImpact(vrp=new, newly_invalid_prefixes=flipped,

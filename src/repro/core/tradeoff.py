@@ -32,7 +32,7 @@ from ..bgp import (
     subprefix_hijack,
 )
 from ..resources import ASN, Prefix
-from ..rp import VRP, Route, VrpSet, classify
+from ..rp import VRP, Route, VrpSet, validate
 
 __all__ = ["TradeoffScenario", "TradeoffCell", "TradeoffTable", "run_tradeoff"]
 
@@ -121,7 +121,8 @@ def _measure(
     probe_address: str,
 ) -> tuple[float, float]:
     """(reachable fraction, hijacked fraction) across observer ASes."""
-    validity = lambda route: classify(route, vrps)  # noqa: E731
+    validity = lambda route: validate(  # noqa: E731
+        route.prefix, route.origin, vrps).state
     policies = policy_table(list(scenario.graph.ases()), policy, validity)
     outcome = propagate(scenario.graph, originations, policies)
 
@@ -171,9 +172,9 @@ def run_tradeoff(scenario: TradeoffScenario) -> TradeoffTable:
         # Threat B: RPKI manipulated — the victim's ROA is whacked, the
         # covering ROA survives, no BGP attacker.
         vrps_whacked = VrpSet([scenario.covering_vrp])
-        assert classify(
-            Route(scenario.victim_prefix, scenario.victim), vrps_whacked
-        ).value == "invalid", "scenario must make the victim's route invalid"
+        assert validate(
+            scenario.victim_prefix, scenario.victim, vrps_whacked
+        ).state.value == "invalid", "scenario must make the victim's route invalid"
         reached, hijacked = _measure(
             scenario,
             policy,

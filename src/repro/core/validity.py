@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..resources import ASN, Prefix
-from ..rp import Route, RouteValidity, VrpSet, classify
+from ..rp import Route, RouteValidity, VrpSet, validate
 
 __all__ = [
     "MatrixCell",
@@ -103,7 +103,7 @@ def validity_matrix(
     for length in lengths:
         for prefix in base.subprefixes(length):
             for origin in origin_list:
-                cells[(prefix, origin)] = classify(Route(prefix, origin), vrps)
+                cells[(prefix, origin)] = validate(prefix, origin, vrps).state
     return ValidityMatrix(
         base=base,
         lengths=lengths,

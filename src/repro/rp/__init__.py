@@ -18,9 +18,20 @@ from .incremental import (
     VerificationMemo,
 )
 from .lta import LocalOverrides, classify_with_overrides
-from .origin import OriginValidationOutcome, classify, explain
+from .origin import (
+    OriginValidationOutcome,
+    classify,
+    classify_parts,
+    explain,
+    validate,
+)
 from .pathval import PathValidator, Severity, ValidationIssue, ValidationRun
-from .relying_party import DegradationReport, RefreshReport, RelyingParty
+from .relying_party import (
+    ENGINE_MODES,
+    DegradationReport,
+    RefreshReport,
+    RelyingParty,
+)
 from .states import Route, RouteValidity
 from .suspenders import RetainedVrp, SuspendersRelyingParty
 from .vrp import VRP, VrpSet
@@ -28,6 +39,7 @@ from .vrp import VRP, VrpSet
 __all__ = [
     "DispositionVrp",
     "DispositionVrpSet",
+    "ENGINE_MODES",
     "LocalOverrides",
     "SubprefixDisposition",
     "classify_disposition",
@@ -51,5 +63,7 @@ __all__ = [
     "ValidationRun",
     "VrpSet",
     "classify",
+    "classify_parts",
     "explain",
+    "validate",
 ]

@@ -246,7 +246,7 @@ class IncrementalState:
     """Everything a validator carries across runs to validate incrementally.
 
     Hand one instance to :class:`~repro.rp.PathValidator` (or let
-    :class:`~repro.rp.RelyingParty` build one with ``incremental=True``)
+    :class:`~repro.rp.RelyingParty` build one with ``mode="incremental"``)
     and keep it alive across refreshes; dropping it is always safe and
     merely makes the next run cold.
     """

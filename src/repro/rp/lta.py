@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..resources import ASN, Prefix
-from .origin import classify
+from .origin import validate
 from .states import Route, RouteValidity
 from .vrp import VRP, VrpSet
 
@@ -134,4 +134,4 @@ def classify_with_overrides(
     forced = overrides.forced.get(route)
     if forced is not None:
         return forced
-    return classify(route, overrides.apply(vrps))
+    return validate(route.prefix, route.origin, overrides.apply(vrps)).state

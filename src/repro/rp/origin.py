@@ -12,29 +12,30 @@ The subtlety the paper builds Side Effects 5 and 6 on lives entirely in
 the gap between "covering" and "matching": removing a matching ROA while a
 covering one remains flips a route from valid to *invalid*, not unknown,
 and adding a covering ROA flips unknown routes to invalid.
+
+:func:`validate` is the single entry point — it returns the state *and*
+the evidence (which VRPs covered, which matched), and both the BGP policy
+layer and the ``repro.api`` query plane call it.  The older spellings
+``classify`` / ``explain`` / ``classify_parts`` remain as thin aliases
+that emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..resources import ASN, Prefix
 from .states import Route, RouteValidity
 from .vrp import VRP, VrpSet
 
-__all__ = ["classify", "explain", "OriginValidationOutcome"]
-
-
-def classify(route: Route, vrps: VrpSet) -> RouteValidity:
-    """Classify one BGP route against a set of validated ROA payloads."""
-    covered = False
-    for vrp in vrps.covering(route.prefix):
-        covered = True
-        if route.prefix.length <= vrp.max_length and vrp.asn == route.origin:
-            return RouteValidity.VALID
-    if covered:
-        return RouteValidity.INVALID
-    return RouteValidity.UNKNOWN
+__all__ = [
+    "OriginValidationOutcome",
+    "classify",
+    "classify_parts",
+    "explain",
+    "validate",
+]
 
 
 @dataclass(frozen=True)
@@ -50,17 +51,28 @@ class OriginValidationOutcome:
         return f"{self.route} -> {self.state.value}"
 
 
-def explain(route: Route, vrps: VrpSet) -> OriginValidationOutcome:
-    """Like :func:`classify`, but returns the full evidence.
+def validate(
+    prefix: Prefix | str, origin: ASN | int, vrps: VrpSet
+) -> OriginValidationOutcome:
+    """RFC 6811 origin validation of one announcement, with evidence.
 
-    Used by the route-validity matrices (Figure 5) and the monitor, which
-    need to show *which* covering ROA made a route invalid.
+    The unified entry point: one trie walk collects every *covering* VRP
+    (any origin) and every *matching* VRP (covers, within maxLength, same
+    AS), and the state falls out of the two lists — matching present →
+    valid; covering but no match → invalid; neither → unknown.  The
+    route-validity matrices (Figure 5), the BGP policy layer, and the
+    ``repro.api`` query plane all go through here, so there is exactly
+    one implementation of the covering/matching gap the paper's Side
+    Effects 5 and 6 turn on.
     """
+    if not isinstance(prefix, Prefix):
+        prefix = Prefix.parse(prefix)
+    route = Route(prefix, ASN(int(origin)))
     covering: list[VRP] = []
     matching: list[VRP] = []
-    for vrp in vrps.covering(route.prefix):
+    for vrp in vrps.covering(prefix):
         covering.append(vrp)
-        if vrp.matches(route.prefix, route.origin):
+        if prefix.length <= vrp.max_length and vrp.asn == route.origin:
             matching.append(vrp)
     if matching:
         state = RouteValidity.VALID
@@ -76,6 +88,27 @@ def explain(route: Route, vrps: VrpSet) -> OriginValidationOutcome:
     )
 
 
+def _deprecated(old: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.rp.origin.{old}() is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def classify(route: Route, vrps: VrpSet) -> RouteValidity:
+    """Deprecated alias: ``validate(route.prefix, route.origin, vrps).state``."""
+    _deprecated("classify", "validate(prefix, origin, vrps).state")
+    return validate(route.prefix, route.origin, vrps).state
+
+
+def explain(route: Route, vrps: VrpSet) -> OriginValidationOutcome:
+    """Deprecated alias: ``validate(route.prefix, route.origin, vrps)``."""
+    _deprecated("explain", "validate(prefix, origin, vrps)")
+    return validate(route.prefix, route.origin, vrps)
+
+
 def classify_parts(prefix: Prefix, origin: ASN | int, vrps: VrpSet) -> RouteValidity:
-    """Convenience overload taking the route's parts."""
-    return classify(Route(prefix, ASN(int(origin))), vrps)
+    """Deprecated alias: ``validate(prefix, origin, vrps).state``."""
+    _deprecated("classify_parts", "validate(prefix, origin, vrps).state")
+    return validate(prefix, origin, vrps).state

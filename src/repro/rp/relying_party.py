@@ -15,6 +15,7 @@ consequences Section 4 of the paper analyzes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..parallel import ParallelEngine, WorkerPool
@@ -25,12 +26,18 @@ from ..rpki.cert import ResourceCertificate
 from ..simtime import Clock
 from ..telemetry import MetricsRegistry, default_registry
 from .incremental import IncrementalState
-from .origin import classify
+from .origin import OriginValidationOutcome, validate
 from .pathval import PathValidator, ValidationRun
 from .states import Route, RouteValidity
 from .vrp import VrpSet
 
-__all__ = ["RelyingParty", "RefreshReport", "DegradationReport"]
+__all__ = ["ENGINE_MODES", "RelyingParty", "RefreshReport",
+           "DegradationReport"]
+
+# The coherent engine-selection knob: which validation strategy a
+# relying party runs.  ``workers`` sizes the process pool where one is
+# used (always for "parallel"; optionally composed with "incremental").
+ENGINE_MODES = ("serial", "incremental", "parallel")
 
 # Issue codes that mean "this object's bytes were rejected and the object
 # was excluded while its siblings kept validating" — the containment
@@ -130,26 +137,38 @@ class RelyingParty:
         stale-serve path.  ``None`` (default) never stops fetching.
     strict_manifests:
         Validator policy on manifest trouble (see :class:`PathValidator`).
-    incremental:
-        If True, keep an :class:`~repro.rp.incremental.IncrementalState`
-        across refreshes so unchanged publication points are replayed
-        instead of re-parsed and re-verified (see
-        :mod:`repro.rp.incremental` for the exact invalidation rules).
-        Validation *results* are identical either way; only the work done
-        to produce them changes.  Default False.
+    mode:
+        The engine-selection knob, one of :data:`ENGINE_MODES`:
+
+        - ``"serial"`` — the plain path: every refresh re-parses and
+          re-verifies the whole cache snapshot.
+        - ``"incremental"`` — keep an
+          :class:`~repro.rp.incremental.IncrementalState` across
+          refreshes so unchanged publication points are replayed instead
+          of re-validated (see :mod:`repro.rp.incremental` for the exact
+          invalidation rules).
+        - ``"parallel"`` — each refresh opens a
+          :class:`~repro.parallel.WorkerPool` of ``workers`` processes
+          and a :class:`~repro.parallel.ParallelEngine` batch-verifies
+          signatures through it, deduplicated through the
+          content-addressed memo.
+
+        Validation *results* are identical in every mode; only the work
+        done to produce them changes.  ``None`` (the default) infers
+        ``"parallel"`` when ``workers > 0`` and ``"serial"`` otherwise,
+        so existing ``RelyingParty(workers=4)`` call sites keep working.
     workers:
-        If > 0, each refresh opens a :class:`~repro.parallel.WorkerPool`
-        of that many processes and a
-        :class:`~repro.parallel.ParallelEngine` batch-verifies signatures
-        through it ahead of every validation pass, deduplicated through
-        the content-addressed memo; within the refresh, publication
-        points already validated at the same instant are replayed instead
-        of recomputed.  The resulting :class:`ValidationRun` is equal to
-        the serial path's for any worker count — on platforms without a
+        Process-pool size.  Required ≥ 1 for ``mode="parallel"`` (0 is
+        promoted to 1); with ``mode="incremental"`` a positive count
+        additionally attaches the parallel engine, which shares the
+        incremental state's memos.  ``mode="serial"`` rejects a positive
+        count — that combination is incoherent.  On platforms without a
         usable ``multiprocessing`` start method the pool degrades to
-        in-process execution with the same semantics.  Composes with
-        ``incremental`` (the engine shares the incremental state's
-        memos).  Default 0: the serial path, untouched.
+        in-process execution with the same semantics.
+    incremental:
+        Deprecated spelling of ``mode="incremental"``; passing it (with
+        either value) emits :class:`DeprecationWarning`.  ``True`` maps
+        to ``mode="incremental"``, ``False`` to the inferred mode.
     metrics:
         Telemetry registry shared with this RP's cache and validator
         (None → the process-global default registry).  Give each relying
@@ -166,14 +185,41 @@ class RelyingParty:
         stale_grace: int | None = None,
         fetch_budget: int | None = None,
         strict_manifests: bool = False,
-        incremental: bool = False,
+        mode: str | None = None,
         workers: int = 0,
+        incremental: bool | None = None,
         metrics: MetricsRegistry | None = None,
     ):
         if fetch_budget is not None and fetch_budget < 1:
             raise ValueError(f"bad fetch budget {fetch_budget}")
         if workers < 0:
             raise ValueError(f"worker count must be >= 0, got {workers}")
+        if incremental is not None:
+            warnings.warn(
+                "RelyingParty(incremental=...) is deprecated; use "
+                "mode='incremental' (or mode='serial')",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if incremental:
+                if mode not in (None, "incremental"):
+                    raise ValueError(
+                        f"incremental=True conflicts with mode={mode!r}"
+                    )
+                mode = "incremental"
+        if mode is None:
+            mode = "parallel" if workers > 0 else "serial"
+        if mode not in ENGINE_MODES:
+            raise ValueError(
+                f"mode must be one of {ENGINE_MODES}, got {mode!r}"
+            )
+        if mode == "parallel" and workers == 0:
+            workers = 1
+        if mode == "serial" and workers > 0:
+            raise ValueError(
+                "workers > 0 requires mode='parallel' or mode='incremental'"
+            )
+        self.mode = mode
         self.fetcher = fetcher
         self.fetch_budget = fetch_budget
         self.workers = workers
@@ -181,7 +227,8 @@ class RelyingParty:
         self.cache = LocalCache(keep_stale=keep_stale, stale_grace=stale_grace,
                                 metrics=self.metrics)
         self.incremental_state = (
-            IncrementalState(metrics=self.metrics) if incremental else None
+            IncrementalState(metrics=self.metrics)
+            if mode == "incremental" else None
         )
         # With both features on, the engine prefills the incremental
         # state's memos and the validator keeps the incremental provider;
@@ -346,6 +393,11 @@ class RelyingParty:
     # -- classification surface -------------------------------------------------
 
     @property
+    def clock(self):
+        """The simulated clock this relying party runs on."""
+        return self._clock
+
+    @property
     def vrps(self) -> VrpSet:
         """The VRPs from the most recent refresh (empty before the first)."""
         if self._last_run is None:
@@ -356,11 +408,15 @@ class RelyingParty:
     def last_run(self) -> ValidationRun | None:
         return self._last_run
 
+    def validate_origin(self, prefix, origin) -> OriginValidationOutcome:
+        """RFC 6811 validation with evidence, against the current VRP set."""
+        outcome = validate(prefix, origin, self.vrps)
+        self._m_classifications.inc(state=outcome.state.value)
+        return outcome
+
     def classify(self, route: Route) -> RouteValidity:
         """RFC 6811 classification against the current VRP set."""
-        state = classify(route, self.vrps)
-        self._m_classifications.inc(state=state.value)
-        return state
+        return self.validate_origin(route.prefix, route.origin).state
 
     def classify_parts(self, prefix_text: str, origin: int) -> RouteValidity:
         return self.classify(Route.parse(prefix_text, origin))

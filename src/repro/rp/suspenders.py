@@ -31,7 +31,7 @@ from ..rpki.ca import CRL_FILE
 from ..rpki.crl import Crl
 from ..rpki.errors import ObjectFormatError
 from ..rpki.parse import parse_object
-from .origin import classify
+from .origin import validate
 from .relying_party import RefreshReport, RelyingParty
 from .states import Route, RouteValidity
 from .vrp import VRP, VrpSet
@@ -157,7 +157,7 @@ class SuspendersRelyingParty:
         return effective
 
     def classify(self, route: Route) -> RouteValidity:
-        return classify(route, self.vrps)
+        return validate(route.prefix, route.origin, self.vrps).state
 
     def classify_parts(self, prefix_text: str, origin: int) -> RouteValidity:
         return self.classify(Route.parse(prefix_text, origin))

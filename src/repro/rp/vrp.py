@@ -75,6 +75,8 @@ class VrpSet:
         self._all: list[VRP] = []
         self._sorted: list[VRP] | None = None
         self._frozen: frozenset[VRP] | None = None
+        self._content_hash: str | None = None
+        self._by_asn: dict[ASN, tuple[VRP, ...]] | None = None
         for vrp in vrps:
             self.add(vrp)
 
@@ -88,6 +90,8 @@ class VrpSet:
             self._all.append(vrp)
             self._sorted = None
             self._frozen = None
+            self._content_hash = None
+            self._by_asn = None
 
     def covering(self, prefix: Prefix) -> Iterator[VRP]:
         """All VRPs whose prefix covers *prefix*, least-specific first."""
@@ -104,6 +108,36 @@ class VrpSet:
         if self._frozen is None:
             self._frozen = frozenset(self._all)
         return self._frozen
+
+    def content_hash(self) -> str:
+        """A SHA-256 fingerprint of this set's *content*, cached per epoch.
+
+        Two sets holding the same VRPs hash identically no matter how
+        they were built — the content-addressed idiom the incremental
+        engine uses for its memos, reused by ``repro.api`` to key its
+        response cache so any refresh-induced VRP change changes the key
+        and an unchanged set keeps every cached answer warm.
+        """
+        if self._content_hash is None:
+            from ..crypto.hashing import sha256_hex
+
+            payload = "\n".join(str(v) for v in self._sorted_view())
+            self._content_hash = sha256_hex(payload.encode("utf-8"))
+        return self._content_hash
+
+    def by_asn(self, asn: ASN | int) -> tuple[VRP, ...]:
+        """All VRPs authorizing *asn* as origin, sorted (cached per epoch).
+
+        The per-ASN inverse of :meth:`covering` — the query plane's
+        ``lookup_asn`` endpoint.  The index is built lazily on first use
+        and invalidated by :meth:`add` like the other cached views.
+        """
+        if self._by_asn is None:
+            index: dict[ASN, list[VRP]] = {}
+            for vrp in self._sorted_view():
+                index.setdefault(vrp.asn, []).append(vrp)
+            self._by_asn = {a: tuple(vs) for a, vs in index.items()}
+        return self._by_asn.get(ASN(int(asn)), ())
 
     def __iter__(self) -> Iterator[VRP]:
         return iter(self._sorted_view())

@@ -1,0 +1,1 @@
+"""Tests for repro.api — the origin-validation query plane."""

@@ -1,0 +1,60 @@
+"""Bounded LRU response cache: eviction order, stats, key rotation."""
+
+import pytest
+
+from repro.api import CacheStats, ResponseCache
+
+
+class TestResponseCache:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ResponseCache(0)
+
+    def test_miss_then_hit(self):
+        cache = ResponseCache(4)
+        assert cache.get("k") is None
+        cache.put("k", "answer")
+        assert cache.get("k") == "answer"
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+
+    def test_evicts_least_recently_used(self):
+        cache = ResponseCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1     # refresh a; b is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("b") is None  # evicted
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = ResponseCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)             # update, not insert: no eviction
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_capacity_is_a_hard_bound_under_unique_keys(self):
+        # The Stalloris lesson, serving side: an attacker enumerating
+        # unique queries cannot grow memory.
+        cache = ResponseCache(8)
+        for i in range(1000):
+            cache.put(("epoch", i), i)
+        assert len(cache) == 8
+        assert cache.stats.evictions == 992
+
+    def test_content_hash_keying_rotates_answers(self):
+        # The invalidation story: same query under a new content hash is
+        # a distinct key, so a changed VRP set can never serve stale.
+        cache = ResponseCache(4)
+        cache.put(("hash-epoch-1", "lookup", "10.0.0.0/8"), "old")
+        assert cache.get(("hash-epoch-2", "lookup", "10.0.0.0/8")) is None
+
+    def test_stats_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        assert CacheStats().hit_rate == 0.0

@@ -1,0 +1,77 @@
+"""Shard routing: deterministic placement and per-shard telemetry."""
+
+import zlib
+
+import pytest
+
+from repro.api import ShardRouter
+from repro.telemetry import MetricsRegistry
+
+
+def make_router(shards=4, capacity=64):
+    return ShardRouter(shards, capacity, MetricsRegistry())
+
+
+class TestRouting:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            make_router(shards=0)
+
+    def test_routing_is_stable_and_crc32_based(self):
+        # hash() is salted per process; the router must not use it.
+        router = make_router(shards=4)
+        for key in ("10.0.0.0/8", "AS65000", "diff|3|7"):
+            expected = zlib.crc32(key.encode("utf-8")) % 4
+            assert router.route(key).index == expected
+            assert router.route(key) is router.route(key)
+
+    def test_all_shards_reachable(self):
+        router = make_router(shards=4)
+        hit = {router.route(f"key-{i}").index for i in range(200)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_cache_budget_split_across_shards(self):
+        router = make_router(shards=4, capacity=64)
+        assert all(s.cache.capacity == 16 for s in router.shards)
+        # Degenerate budgets still give every shard at least one entry.
+        tiny = make_router(shards=8, capacity=4)
+        assert all(s.cache.capacity == 1 for s in tiny.shards)
+
+    def test_len(self):
+        assert len(make_router(shards=3)) == 3
+
+
+class TestShardTelemetry:
+    def test_request_counter_labels(self):
+        registry = MetricsRegistry()
+        router = ShardRouter(2, 16, registry)
+        shard = router.route("some-key")
+        shard.count_request("validate", "ok")
+        shard.count_request("validate", "ok")
+        shard.count_request("validate", "rate-limited")
+        counter = registry.get("repro_api_requests_total")
+        assert counter.value(shard=str(shard.index), kind="validate",
+                             status="ok") == 2
+        assert counter.value(shard=str(shard.index), kind="validate",
+                             status="rate-limited") == 1
+
+    def test_cache_counter_and_histogram(self):
+        registry = MetricsRegistry()
+        router = ShardRouter(1, 16, registry)
+        shard = router.shards[0]
+        shard.count_cache("miss")
+        shard.count_cache("hit")
+        shard.observe_response_size(3)
+        cache = registry.get("repro_api_cache_total")
+        assert cache.value(shard="0", result="hit") == 1
+        assert cache.value(shard="0", result="miss") == 1
+        histogram = registry.get("repro_api_response_vrps")
+
+        assert histogram.labels(shard="0").count == 1
+
+    def test_cache_stats_aggregate(self):
+        router = make_router(shards=2)
+        router.shards[0].cache.put("k", 1)
+        router.shards[0].cache.get("k")
+        router.shards[1].cache.get("absent")
+        assert router.cache_stats() == (1, 1, 0)

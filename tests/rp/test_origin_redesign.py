@@ -1,0 +1,91 @@
+"""The unified origin entry point and its deprecated aliases.
+
+``validate(prefix, origin, vrps)`` is the one way in; ``classify``,
+``explain`` and ``classify_parts`` survive as shims that warn and
+delegate.  Equivalence is asserted behaviorally: every alias must return
+exactly what ``validate`` returns for the same inputs.
+"""
+
+import pytest
+
+from repro.resources import Prefix
+from repro.rp import VRP, Route, RouteValidity, VrpSet
+from repro.rp.origin import classify, classify_parts, explain, validate
+
+VRPS = VrpSet([
+    VRP.parse("63.160.0.0/12-16", 1239),
+    VRP.parse("63.168.93.0/24", 19429),
+])
+
+
+class TestValidate:
+    def test_accepts_strings_and_ints(self):
+        outcome = validate("63.160.0.0/12", 1239, VRPS)
+        assert outcome.state is RouteValidity.VALID
+        assert outcome.route.prefix == Prefix.parse("63.160.0.0/12")
+        assert int(outcome.route.origin) == 1239
+
+    def test_accepts_rich_types(self):
+        prefix = Prefix.parse("63.168.93.0/24")
+        outcome = validate(prefix, 19429, VRPS)
+        assert outcome.state is RouteValidity.VALID
+        assert outcome.matching and set(outcome.matching) <= set(outcome.covering)
+
+    def test_evidence_is_complete(self):
+        # Covered but origin mismatch: invalid, with the covering VRPs
+        # as evidence and no matching VRP.
+        outcome = validate("63.160.0.0/12", 666, VRPS)
+        assert outcome.state is RouteValidity.INVALID
+        assert outcome.matching == ()
+        assert [int(v.asn) for v in outcome.covering] == [1239]
+
+    def test_unknown_when_uncovered(self):
+        outcome = validate("8.8.8.0/24", 15169, VRPS)
+        assert outcome.state is RouteValidity.UNKNOWN
+        assert outcome.covering == () and outcome.matching == ()
+
+    def test_too_specific_is_invalid(self):
+        # Covered by the /12-16 VRP but longer than maxLength.
+        outcome = validate("63.160.128.0/17", 1239, VRPS)
+        assert outcome.state is RouteValidity.INVALID
+
+
+class TestDeprecatedAliases:
+    def test_classify_warns_and_matches(self):
+        route = Route(Prefix.parse("63.160.0.0/12"), 1239)
+        with pytest.deprecated_call():
+            state = classify(route, VRPS)
+        assert state is validate(route.prefix, route.origin, VRPS).state
+
+    def test_explain_warns_and_matches(self):
+        route = Route(Prefix.parse("63.160.0.0/12"), 666)
+        with pytest.deprecated_call():
+            outcome = explain(route, VRPS)
+        assert outcome == validate(route.prefix, route.origin, VRPS)
+
+    def test_classify_parts_warns_and_matches(self):
+        # Historical contract: classify_parts returned the bare state.
+        with pytest.deprecated_call():
+            state = classify_parts("63.168.93.0/24", 19429, VRPS)
+        assert state is validate("63.168.93.0/24", 19429, VRPS).state
+
+    def test_warning_names_the_replacement(self):
+        route = Route(Prefix.parse("8.8.8.0/24"), 15169)
+        with pytest.warns(DeprecationWarning, match="validate"):
+            classify(route, VRPS)
+
+    @pytest.mark.parametrize("prefix,origin", [
+        ("63.160.0.0/12", 1239),     # valid
+        ("63.160.0.0/12", 666),      # invalid (origin mismatch)
+        ("63.160.128.0/17", 1239),   # invalid (too specific)
+        ("8.8.8.0/24", 15169),       # unknown
+    ])
+    def test_alias_equivalence_across_states(self, prefix, origin):
+        route = Route(Prefix.parse(prefix), origin)
+        direct = validate(prefix, origin, VRPS)
+        with pytest.deprecated_call():
+            assert classify(route, VRPS) is direct.state
+        with pytest.deprecated_call():
+            assert explain(route, VRPS) == direct
+        with pytest.deprecated_call():
+            assert classify_parts(prefix, origin, VRPS) is direct.state

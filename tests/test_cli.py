@@ -118,6 +118,36 @@ class TestCli:
         minimal = int(shrunk[0].split(" plan to ")[1].split()[0])
         assert 1 <= minimal <= 3
 
+    def test_api_smoke(self, capsys):
+        out = run(capsys, "api")
+        assert "Origin-validation query plane" in out
+        assert "epoch serial 1:" in out
+        # The second classification pass is served entirely from cache.
+        assert "cache hits" in out
+        # The token bucket rejects part of the 12-request burst...
+        assert "4 rate-limited" in out
+        # ...and refills on the simulated clock.
+        assert "4 simulated seconds later (refill 1/s): ok" in out
+        # The whack shows up as a serial bump and a removed VRP.
+        assert "serial 1 -> 2" in out
+        assert "removed" in out
+
+    def test_api_seed_and_scale(self, capsys):
+        out = run(capsys, "api", "--seed", "3", "--scale", "medium")
+        assert "'medium' deployment (seed 3)" in out
+
+    def test_api_emit_metrics(self, capsys):
+        out = run(capsys, "api", "--emit-metrics")
+        assert "repro_api_requests_total" in out
+        assert "repro_api_cache_total" in out
+        assert "repro_api_rate_limited_total" in out
+
+    def test_seed_trio_accepted_everywhere(self, capsys):
+        # The shared option trio parses on every subcommand, including
+        # the paper-pinned fixtures (which ignore it).
+        out = run(capsys, "fig2", "--seed", "5", "--scale", "large")
+        assert "8 VRPs, 0 errors" in out
+
     def test_perf_emit_metrics(self, capsys):
         out = run(capsys, "perf", "--epochs", "3", "--emit-metrics")
         assert "repro_incremental_verify_memo_total" in out

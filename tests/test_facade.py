@@ -47,4 +47,19 @@ class TestFacade:
 
     def test_all_is_sorted_within_reason(self):
         # Guard against silent drops: a generous floor on the surface.
-        assert len(repro.__all__) >= 60
+        assert len(repro.__all__) >= 100
+        # Sorted-by-construction and duplicate-free — the same invariant
+        # tools/check_facade.py lints, asserted here directly so the
+        # failure points at the facade rather than the lint harness.
+        assert list(repro.__all__) == sorted(repro.__all__)
+        assert len(set(repro.__all__)) == len(repro.__all__)
+
+    def test_query_plane_exports(self):
+        # The 1.6.0 additions: the api package and the unified origin
+        # validation entry point are part of the facade.
+        from repro.api import QueryService as DeepService
+        from repro.rp.origin import validate as deep_validate
+
+        assert repro.QueryService is DeepService
+        assert repro.validate is deep_validate
+        assert "serial" in repro.ENGINE_MODES

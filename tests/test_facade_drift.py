@@ -1,0 +1,49 @@
+"""Tier-1 hook for the facade-drift lint (tools/check_facade.py).
+
+Fails the suite when ``repro.__all__`` lists a name that does not
+resolve, is missing from docs/API.md, is duplicated, or breaks the
+sorted-by-construction invariant.
+"""
+
+import pathlib
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_facade  # noqa: E402
+
+
+def test_facade_has_no_drift():
+    problems = check_facade.check_facade()
+    assert problems == [], "\n".join(problems)
+
+
+def test_lint_catches_missing_attribute(monkeypatch):
+    import repro
+
+    monkeypatch.setattr(
+        repro, "__all__", sorted(repro.__all__ + ["definitely_not_a_name"])
+    )
+    problems = check_facade.check_facade()
+    assert any("definitely_not_a_name" in p and "no such attribute" in p
+               for p in problems)
+    # The phantom name is also undocumented, and both complaints name it.
+    assert any("absent from docs/API.md" in p for p in problems)
+
+
+def test_lint_catches_unsorted_all(monkeypatch):
+    import repro
+
+    shuffled = list(reversed(repro.__all__))
+    monkeypatch.setattr(repro, "__all__", shuffled)
+    problems = check_facade.check_facade()
+    assert any("not sorted" in p for p in problems)
+
+
+def test_lint_catches_duplicates(monkeypatch):
+    import repro
+
+    monkeypatch.setattr(repro, "__all__", repro.__all__ + [repro.__all__[0]])
+    problems = check_facade.check_facade()
+    assert any("more than once" in p for p in problems)

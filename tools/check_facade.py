@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Facade-drift lint: ``repro.__all__`` vs. reality vs. the docs.
+
+The facade (``src/repro/__init__.py``) promises that its ``__all__`` is
+the complete, documented, stable public API.  Three ways that promise
+can silently rot, three checks:
+
+1. **Every name resolves.**  A name listed in ``__all__`` but missing
+   from the module (a deleted re-export, a typo) breaks
+   ``from repro import *`` and any reader trusting the list.
+2. **Every name is documented.**  docs/API.md is generated from the
+   live tree (tools/gen_api_docs.py); a facade name absent from it means
+   the committed docs predate the export and need regenerating.
+3. **The list is sorted and duplicate-free.**  Sorted-by-construction
+   keeps diffs reviewable (one insertion per new export) and makes the
+   completeness check in code review a scan, not a puzzle.
+
+Run directly (``PYTHONPATH=src python tools/check_facade.py``, exit 1 on
+drift) or via the tier-1 test ``tests/test_facade_drift.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+API_DOC = REPO_ROOT / "docs" / "API.md"
+
+
+def check_facade() -> list[str]:
+    """Every drift problem in the facade; empty means healthy."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        import repro
+    finally:
+        sys.path.pop(0)
+
+    problems: list[str] = []
+    names = list(repro.__all__)
+
+    seen: set[str] = set()
+    for name in names:
+        if name in seen:
+            problems.append(f"__all__ lists {name!r} more than once")
+        seen.add(name)
+    if names != sorted(names):
+        for got, want in zip(names, sorted(names)):
+            if got != want:
+                problems.append(
+                    f"__all__ is not sorted: {got!r} where {want!r} belongs"
+                )
+                break
+
+    for name in names:
+        if not hasattr(repro, name):
+            problems.append(
+                f"__all__ lists {name!r} but `repro` has no such attribute"
+            )
+
+    if not API_DOC.exists():
+        problems.append(f"{API_DOC.relative_to(REPO_ROOT)} is missing — "
+                        "run: PYTHONPATH=src python tools/gen_api_docs.py")
+        return problems
+    documented = set(
+        re.findall(r"\*\*`([^`]+)`\*\*", API_DOC.read_text(encoding="utf-8"))
+    )
+    for name in names:
+        if name == "__version__":
+            continue  # rendered as `Version ...`, not an item entry
+        if name not in documented:
+            problems.append(
+                f"facade name {name!r} is absent from docs/API.md — "
+                "run: PYTHONPATH=src python tools/gen_api_docs.py"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_facade()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} facade drift problem(s)", file=sys.stderr)
+        return 1
+    print("facade check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
