@@ -138,7 +138,14 @@ from .rp import (
     validate,
 )
 from .rpki import CertificateAuthority, ResourceCertificate, Roa
-from .rtr import DuplexPipe, RtrCacheServer, RtrRouterClient
+from .rtr import (
+    CacheChain,
+    ChainedRtrCache,
+    DuplexPipe,
+    RtrCacheServer,
+    RtrRouterClient,
+    SessionMux,
+)
 from .simtime import DAY, HOUR, YEAR, Clock
 from .telemetry import (
     Counter,
@@ -151,13 +158,14 @@ from .telemetry import (
     trace,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 # Sorted, complete, and drift-checked (tools/check_facade.py).
 __all__ = [
     "ASN", "Afi", "ApiConfig", "ApiResponse", "BYZANTINE_KINDS",
-    "BreakerPolicy", "BreakerState", "CacheFreshness", "CacheStats",
-    "CampaignConfig", "CampaignResult", "CertificateAuthority", "ChurnConfig",
+    "BreakerPolicy", "BreakerState", "CacheChain", "CacheFreshness",
+    "CacheStats", "CampaignConfig", "CampaignResult", "CertificateAuthority",
+    "ChainedRtrCache", "ChurnConfig",
     "ChurnEngine", "CircuitBreaker", "Clock", "ClosedLoopSimulation",
     "Counter", "DAY", "DegradationReport", "DeploymentConfig",
     "DetectionExperiment", "DuplexPipe", "ENGINE_MODES", "FaultInjector",
@@ -170,7 +178,7 @@ __all__ = [
     "RepositoryServer", "ResilienceConfig", "ResourceCertificate",
     "ResourceSet", "ResponseCache", "RetryPolicy", "Roa", "Route",
     "RouteValidity", "RsyncUri", "RtrCacheServer", "RtrRouterClient",
-    "ShardRouter", "Span", "StallConfig", "StallDetector",
+    "SessionMux", "ShardRouter", "Span", "StallConfig", "StallDetector",
     "SuspendersRelyingParty", "TokenBucket", "VRP", "ValidationRun",
     "Violation", "VrpDiff", "VrpSet", "WorkerPool", "YEAR", "__version__",
     "always_reachable", "analyze", "build_deployment", "build_figure2",

@@ -10,16 +10,20 @@ them in clock lockstep for N refresh cycles:
   :class:`~repro.repository.faults.FaultInjector` (same seed, same fetch
   order, therefore the same fault stream).
 
-An RTR cache + router pair rides on the serial variant, with its own
-chaos: garbage bytes mid-session and abrupt channel closes.
+An RTR fan-out rides on the serial variant: the cache + router pair,
+plus a :class:`~repro.rtr.CacheChain` of non-validating caches
+re-serving the cache's beliefs tier by tier — with its own chaos:
+garbage bytes mid-session, abrupt channel closes, and severed chain
+links (which must heal by reconnecting).
 
 After every cycle three invariants are checked:
 
 - **safety** — each faulted variant's VRP set is a subset of the clean
   run's: faults may *remove* validated origins, never invent them.
 - **equivalence** — serial, incremental, and parallel RPs agree exactly
-  under the identical fault plan, and the attached router's table matches
-  after resync.
+  under the identical fault plan, the attached router's table matches
+  after resync, and **every chained cache in every tier** serves exactly
+  the validating RP's set once pumped.
 - **no-crash** — nothing anywhere raises out of the cycle: a violation
   of the containment contract is an unhandled exception here.
 
@@ -39,7 +43,13 @@ from ..modelgen import DeploymentConfig, build_deployment
 from ..repository import Fetcher, FaultInjector
 from ..repository.uri import RsyncUri
 from ..rp import RelyingParty
-from ..rtr import DuplexPipe, RouterState, RtrCacheServer, RtrRouterClient
+from ..rtr import (
+    CacheChain,
+    DuplexPipe,
+    RouterState,
+    RtrCacheServer,
+    RtrRouterClient,
+)
 from ..telemetry import MetricsRegistry
 from .plan import FaultPlan, PlannedFault, build_plan
 from ..repository.faults import FaultKind
@@ -69,6 +79,8 @@ class CampaignConfig:
     isps_per_rir: int = 1
     customers_per_isp: int = 1
     plant_violation: bool = False  # stage the stealthy-delete + replay demo
+    rtr_tiers: int = 1           # chained-cache fan-out depth (0 = none)
+    rtr_fanout: int = 2          # children per cache in the chain
 
     def deployment(self) -> DeploymentConfig:
         return DeploymentConfig(
@@ -104,6 +116,7 @@ class CampaignResult:
     quarantined_objects: int = 0
     degraded_points: int = 0
     rtr_events: int = 0
+    chain_caches: int = 0
     clean_vrps: int = 0
     metrics: MetricsRegistry | None = None
 
@@ -224,6 +237,15 @@ class _Campaign:
         self.router: RtrRouterClient | None = None
         self.rtr_rng = random.Random(config.seed ^ 0x52545221)
         self._attach_router()
+        # The fan-out tree: non-validating caches re-serving the serial
+        # variant's beliefs, checked tier by tier every cycle.
+        self.chain: CacheChain | None = None
+        if config.rtr_tiers > 0:
+            self.chain = CacheChain(
+                self.server,
+                tiers=config.rtr_tiers,
+                fanout=config.rtr_fanout,
+            )
 
     # -- plumbing ------------------------------------------------------------
 
@@ -312,10 +334,19 @@ class _Campaign:
             self._attach_router()
         if self.router.state is RouterState.FAILED or self.pipe.closed:
             self._attach_router()
+        if self.chain is not None and self.rtr_rng.random() < 0.1:
+            # Sever a random chain link; the next pump must heal it
+            # with a reconnect and a full resync.
+            caches = self.chain.caches()
+            caches[self.rtr_rng.randrange(len(caches))].pipe.close()
+            self._m_rtr_events.inc(kind="chain-close")
+            result.rtr_events += 1
         self.server.update(self.faulted[0].rp.vrps)
         self.router.process()   # Serial Notify -> router polls
         self.server.process()   # answer the Serial Query
         self.router.process()   # apply the delta
+        if self.chain is not None:
+            self.chain.pump()   # propagate down every tier
 
     # -- the loop ------------------------------------------------------------
 
@@ -330,6 +361,8 @@ class _Campaign:
                 self._m_violations.inc(invariant=violation.invariant)
                 break
         result.clean_vrps = len(self.clean.rp.vrps)
+        if self.chain is not None:
+            result.chain_caches = len(self.chain.caches())
         for variant in self.faulted:
             result.faults_fired += (
                 len(variant.faults.applied) + variant.faults.applied_dropped
@@ -385,6 +418,17 @@ class _Campaign:
                 f"router table diverged from its cache after resync "
                 f"({len(router_set)} vs {len(serial_set)} VRPs)",
             )
+        if self.chain is not None:
+            for tier_index in range(self.chain.tiers):
+                for position, cache in enumerate(self.chain.tier(tier_index)):
+                    served = cache.current_vrps()
+                    if served != serial_set:
+                        return Violation(
+                            cycle, "equivalence",
+                            f"chained cache tier {tier_index} #{position} "
+                            f"diverged from the validating RP "
+                            f"({len(served)} vs {len(serial_set)} VRPs)",
+                        )
         return None
 
 

@@ -17,6 +17,7 @@
     python -m repro refresh         # one refresh cycle, optionally parallel
     python -m repro chaos           # Byzantine fault campaign + shrink demo
     python -m repro api             # the origin-validation query plane
+    python -m repro rtr             # router-fleet fan-out over chained caches
     python -m repro all             # everything, in order
 
 Every command is deterministic (fixed seeds) and prints a self-contained
@@ -622,6 +623,116 @@ def cmd_api(args) -> None:
         for entry in history))
 
 
+def cmd_rtr(args) -> None:
+    from .modelgen import DeploymentConfig, build_deployment
+    from .rtr import (
+        CacheChain, DuplexPipe, RouterState, RtrCacheServer, RtrRouterClient,
+    )
+    from .simtime import HOUR
+
+    scale = _scale(args, "small")
+    config = DeploymentConfig(seed=_seed(args, 7), **_REFRESH_SCALES[scale])
+    world = build_deployment(config)
+    rp = _build_rp(world, mode="incremental")
+    world.clock.advance(HOUR)
+    rp.refresh()
+
+    server = RtrCacheServer(history_window=4)
+    server.update(rp.vrps)
+    chain = CacheChain(server, tiers=args.tiers, fanout=args.fanout)
+    chain.pump()
+    print(f"RTR fan-out over the {scale!r} deployment (seed {config.seed})\n")
+    print(f"validating cache: serial {server.serial}, "
+          f"{server.vrp_count} VRPs, history window "
+          f"{server.history_window} serials")
+    print(f"chain: {args.tiers} tier(s) x fanout {args.fanout} = "
+          f"{len(chain.caches())} non-validating caches "
+          f"({len(chain.deepest())} at the deepest tier)")
+
+    # A fleet of routers on the far edge, all synced through the chain.
+    routers: list[RtrRouterClient] = []
+    for cache in chain.deepest():
+        for _ in range(args.routers):
+            pipe = DuplexPipe()
+            cache.server.attach(pipe)
+            client = RtrRouterClient(pipe)
+            client.connect()
+            routers.append(client)
+    for _ in range(2):
+        for cache in chain.caches():
+            cache.server.process()
+        for client in routers:
+            client.process()
+    synced = sum(1 for c in routers if c.state is RouterState.SYNCED)
+    agree = sum(
+        1 for c in routers
+        if c.vrp_set().as_frozenset() == server.current_vrps()
+    )
+    print(f"routers: {len(routers)} attached at the edge, {synced} synced, "
+          f"{agree} serving exactly the validating RP's set\n")
+
+    print("== churn: one ROA per cycle, propagated as deltas ==")
+    donor = next(ca for ca in world.authorities() if ca.issued_roas)
+    prefix = donor.issued_roas[sorted(donor.issued_roas)[0]].prefixes[0].prefix
+    registry = server.metrics
+    for cycle in range(3):
+        donor.issue_roa(64512 + cycle, str(prefix), name=f"rtr-{cycle}.roa")
+        world.clock.advance(HOUR)
+        rp.refresh()
+        server.update(rp.vrps)
+        chain.pump()
+        for client in routers:
+            client.process()
+        divergent = len(chain.divergent())
+        print(f"cycle {cycle}: serial {server.serial}, "
+              f"{server.vrp_count} VRPs, divergent deep caches: {divergent}")
+    pdus = registry.get("repro_rtr_pdus_sent_total")
+    print(f"delta serving: {pdus.value(type='prefix_pdu'):.0f} prefix PDUs, "
+          f"{pdus.value(type='serial_notify'):.0f} serial notifies\n")
+
+    print("== a laggard router falls out of the delta window ==")
+    laggard_pipe = DuplexPipe()
+    server.attach(laggard_pipe)
+    laggard = RtrRouterClient(laggard_pipe)
+    laggard.connect()
+    server.process()
+    laggard.process()
+    stale_serial = laggard.serial
+    for cycle in range(server.history_window + 2):
+        donor.issue_roa(64600 + cycle, str(prefix), name=f"lag-{cycle}.roa")
+        world.clock.advance(HOUR)
+        rp.refresh()
+        server.update(rp.vrps)  # laggard never polls; deltas compact away
+    server.process()
+    resets = registry.get("repro_rtr_cache_resets_total")
+    before = resets.value(reason="compacted")
+    laggard.poll()
+    server.process()
+    laggard.process()   # Cache Reset received -> Reset Query sent
+    server.process()
+    laggard.process()   # full snapshot applied
+    compactions = registry.get("repro_rtr_compactions_total")
+    print(f"slept from serial {stale_serial} to {server.serial} while "
+          f"{compactions.value(reason='window'):.0f} serials were "
+          f"compacted away")
+    print(f"Cache Reset answers (reason=compacted): {before:.0f} -> "
+          f"{resets.value(reason='compacted'):.0f}; laggard resynced to "
+          f"serial {laggard.serial} with {laggard.vrp_count} VRPs\n")
+
+    print("== a misbehaving router sends malformed bytes ==")
+    bad_pipe = DuplexPipe()
+    server.attach(bad_pipe)
+    sessions_before = server.session_count
+    bad_pipe.to_cache.send(b"\x99\x00\x00\x07junk!")
+    server.process()
+    errors = registry.get("repro_rtr_errors_total")
+    print(f"sessions {sessions_before} -> {server.session_count} "
+          f"(Error Report sent, session dropped; decode errors: "
+          f"{errors.value(kind='decode'):.0f})")
+    print(f"surviving sessions unaffected: laggard still "
+          f"{laggard.state.value} at serial {laggard.serial}")
+
+
 def cmd_sideeffects(_args) -> None:
     from .core import demonstrate_all
 
@@ -658,6 +769,7 @@ _COMMANDS: dict[str, Callable] = {
     "refresh": cmd_refresh,
     "chaos": cmd_chaos,
     "api": cmd_api,
+    "rtr": cmd_rtr,
     "all": cmd_all,
 }
 
@@ -724,6 +836,20 @@ def build_parser() -> argparse.ArgumentParser:
                 "--cycles", type=int, default=20,
                 help="refresh cycles to run in the chaos campaign",
             )
+        if name in ("rtr", "all"):
+            sub.add_argument(
+                "--tiers", type=int, default=2,
+                help="chained-cache tiers between the validating cache "
+                     "and the router fleet",
+            )
+            sub.add_argument(
+                "--fanout", type=int, default=2,
+                help="downstream caches per cache in the chain",
+            )
+            sub.add_argument(
+                "--routers", type=int, default=3,
+                help="router sessions attached to each deepest-tier cache",
+            )
     return parser
 
 
@@ -755,6 +881,12 @@ def main(argv: list[str] | None = None) -> int:
         args.workers = 0
     if not hasattr(args, "cycles"):
         args.cycles = 20
+    if not hasattr(args, "tiers"):
+        args.tiers = 2
+    if not hasattr(args, "fanout"):
+        args.fanout = 2
+    if not hasattr(args, "routers"):
+        args.routers = 3
     try:
         _COMMANDS[args.command](args)
         if args.json:

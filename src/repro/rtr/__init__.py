@@ -1,12 +1,17 @@
 """The RPKI-to-Router protocol (RFC 6810): caches feeding BGP speakers.
 
 The final hop of the paper's Figure 1 pipeline, with real wire encoding:
-a relying-party cache serves its VRP set over RTR sessions; routers hold
-local tables synchronized by serial-numbered deltas.
+a relying-party cache serves its VRP set over RTR sessions — multiplexed
+through an event-driven :class:`SessionMux` with per-session fairness,
+bounded delta history with snapshot compaction, and cache-to-cache
+chaining for router-fleet fan-out; routers hold local tables
+synchronized by serial-numbered deltas.
 """
 
 from .cache_server import RtrCacheServer
+from .chain import CacheChain, ChainedRtrCache
 from .channel import Channel, ChannelClosed, DuplexPipe
+from .mux import MuxEvent, MuxSession, SessionMux
 from .pdu import (
     CacheReset,
     CacheResponse,
@@ -26,13 +31,17 @@ from .pdu import (
 from .router_client import RouterState, RtrRouterClient
 
 __all__ = [
+    "CacheChain",
     "CacheReset",
     "CacheResponse",
+    "ChainedRtrCache",
     "Channel",
     "ChannelClosed",
     "DuplexPipe",
     "EndOfData",
     "ErrorReport",
+    "MuxEvent",
+    "MuxSession",
     "Pdu",
     "PduDecodeError",
     "PduType",
@@ -44,6 +53,7 @@ __all__ = [
     "RtrRouterClient",
     "SerialNotify",
     "SerialQuery",
+    "SessionMux",
     "decode_pdus",
     "encode_pdu",
 ]

@@ -1,41 +1,59 @@
-"""The cache side of RTR: a relying party serving routers.
+"""The cache side of RTR: a relying party serving a router fleet.
 
 Keeps the current VRP set under a monotonically increasing *serial*, a
-bounded window of per-serial diffs for incremental updates, and any number
-of attached router sessions.  When the relying party's refresh changes the
-VRP set, :meth:`RtrCacheServer.update` bumps the serial and sends a Serial
-Notify down every session — the routers then pull the delta.
+**bounded** window of per-serial deltas for incremental updates, and any
+number of attached router sessions behind an event-driven
+:class:`~repro.rtr.mux.SessionMux`.  When the relying party's refresh
+changes the VRP set, :meth:`RtrCacheServer.update` bumps the serial and
+sends a Serial Notify down every session — the routers then pull the
+delta.
 
-This is the last hop of the paper's Figure 1: the cache's beliefs, however
-they were manipulated, become every attached router's route-validity
-oracle.
+Three serving-scale mechanisms (see docs/rtr.md):
+
+- **Session multiplexing.**  Input is drained through the mux's ready
+  set with per-session fairness budgets, so one tick costs O(active
+  sessions), not O(fleet), and one chatty session cannot starve its
+  siblings.
+- **Delta compaction.**  The history window is bounded both in serials
+  (``history_window``) and in total delta VRPs (``max_history_vrps``);
+  compacted-away serials are answered with Cache Reset — the client
+  re-syncs from the snapshot instead of the cache replaying unbounded
+  history (the Stalloris-shaped memory attack this forecloses).
+- **Burst caching.**  The full-snapshot burst and every delta burst are
+  encoded once per serial and re-served as bytes, so syncing 1,000
+  routers costs one encoding plus 1,000 buffer appends.
+
+This is the last hop of the paper's Figure 1: the cache's beliefs,
+however they were manipulated, become every attached router's
+route-validity oracle.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..rp.vrp import VRP, VrpSet
 from ..telemetry import MetricsRegistry, default_registry
 from .channel import ChannelClosed, DuplexPipe
+from .mux import MuxSession, SessionMux
 from .pdu import (
     CacheReset,
     CacheResponse,
     EndOfData,
     ErrorReport,
     Pdu,
-    PduDecodeError,
     PrefixPdu,
     ResetQuery,
     SerialNotify,
     SerialQuery,
-    decode_pdus,
     encode_pdu,
 )
 
 __all__ = ["RtrCacheServer"]
 
 _DEFAULT_HISTORY_WINDOW = 16
+_DEFAULT_MAX_HISTORY_VRPS = 4096
 
 # CamelCase PDU class name -> snake_case label value, cached because the
 # lookup sits on the per-PDU send path.
@@ -53,17 +71,36 @@ def _pdu_label(pdu: Pdu) -> str:
     return label
 
 
-@dataclass
-class _Session:
-    pipe: DuplexPipe
-    receive_buffer: bytes = b""
-    alive: bool = True
+def _prefix_pdu(announce: bool, vrp: VRP) -> PrefixPdu:
+    return PrefixPdu(
+        announce=announce, prefix=vrp.prefix,
+        max_length=vrp.max_length, asn=vrp.asn,
+    )
 
 
 @dataclass
 class _Delta:
+    """One serial's change set, with its wire encoding cached."""
+
     announced: list[VRP] = field(default_factory=list)
     withdrawn: list[VRP] = field(default_factory=list)
+    encoded: bytes | None = None
+
+    @property
+    def size(self) -> int:
+        return len(self.announced) + len(self.withdrawn)
+
+    def encode(self) -> bytes:
+        """Withdrawals then announcements, encoded once and memoized."""
+        if self.encoded is None:
+            parts = [
+                encode_pdu(_prefix_pdu(False, vrp)) for vrp in self.withdrawn
+            ]
+            parts += [
+                encode_pdu(_prefix_pdu(True, vrp)) for vrp in self.announced
+            ]
+            self.encoded = b"".join(parts)
+        return self.encoded
 
 
 class RtrCacheServer:
@@ -74,27 +111,37 @@ class RtrCacheServer:
         *,
         session_id: int = 1,
         history_window: int = _DEFAULT_HISTORY_WINDOW,
+        max_history_vrps: int = _DEFAULT_MAX_HISTORY_VRPS,
+        fairness_budget: int | None = None,
         metrics: MetricsRegistry | None = None,
     ):
         if not 0 <= session_id <= 0xFFFF:
             raise ValueError(f"session id out of range: {session_id}")
         if history_window < 1:
             raise ValueError("history window must be at least 1")
+        if max_history_vrps < 1:
+            raise ValueError("history VRP bound must be at least 1")
         self.session_id = session_id
         self.history_window = history_window
+        self.max_history_vrps = max_history_vrps
         self.serial = 0
-        self._current: set[VRP] = set()
+        self._current = VrpSet()
         self._history: dict[int, _Delta] = {}
-        self._sessions: list[_Session] = []
+        self._history_vrps = 0
+        self._snapshot: tuple[int, bytes, int] | None = None
         self.metrics = metrics if metrics is not None else default_registry()
+        mux_budget = {} if fairness_budget is None else {
+            "fairness_budget": fairness_budget
+        }
+        self.mux = SessionMux(metrics=self.metrics, **mux_budget)
         self._m_pdus = self.metrics.counter(
             "repro_rtr_pdus_sent_total",
             help="PDUs sent to router sessions, by PDU type",
             labelnames=("type",),
         )
-        # Bound children per PDU class: label resolution is too slow for
+        # Bound children per PDU label: label resolution is too slow for
         # the per-PDU send path, a child increment is one attribute add.
-        self._pdu_counters: dict[type, object] = {}
+        self._pdu_counters: dict[str, object] = {}
         self._m_serial_bumps = self.metrics.counter(
             "repro_rtr_serial_bumps_total",
             help="serial increments caused by real VRP-set change",
@@ -107,128 +154,204 @@ class RtrCacheServer:
             help="router sessions dropped for cause, by error class",
             labelnames=("kind",),
         )
+        self._m_history_vrps = self.metrics.gauge(
+            "repro_rtr_delta_history_vrps",
+            help="VRPs held across the retained delta window",
+        )
+        self._m_history_serials = self.metrics.gauge(
+            "repro_rtr_delta_history_serials",
+            help="serials retained in the delta window",
+        )
+        self._m_compactions = self.metrics.counter(
+            "repro_rtr_compactions_total",
+            help="delta serials compacted away into the snapshot, by reason",
+            labelnames=("reason",),
+        )
+        self._m_resets = self.metrics.counter(
+            "repro_rtr_cache_resets_total",
+            help="Cache Reset answers forcing a client snapshot re-sync, "
+                 "by reason",
+            labelnames=("reason",),
+        )
 
-    # -- data-side API --------------------------------------------------------
+    # -- data-side API -----------------------------------------------------
 
-    def update(self, vrps: VrpSet | set[VRP]) -> int:
+    def update(self, vrps: VrpSet | set[VRP] | frozenset[VRP]) -> int:
         """Install a new VRP set; returns the (possibly unchanged) serial.
 
-        Computes the delta against the current state; a no-op update does
-        not bump the serial (RFC 6810 serials only move on real change).
+        Deltas come from :meth:`VrpSet.added` / :meth:`VrpSet.removed`,
+        which reuse both sets' cached frozensets — one set difference,
+        not a per-element probe.  A no-op update does not bump the
+        serial (RFC 6810 serials only move on real change).
+
+        .. deprecated:: 1.7
+           Passing a raw ``set[VRP]`` is deprecated; build a
+           :class:`VrpSet` (whose delta views are cached) instead.
         """
-        # A VrpSet hands over its cached frozenset; anything else is
-        # materialized the slow way (iterating a VrpSet would sort it).
-        if isinstance(vrps, VrpSet):
-            new_set: set[VRP] | frozenset[VRP] = vrps.as_frozenset()
-        else:
-            new_set = set(vrps)
-        announced = sorted(new_set - self._current)
-        withdrawn = sorted(self._current - new_set)
+        if not isinstance(vrps, VrpSet):
+            warnings.warn(
+                "RtrCacheServer.update with a raw set of VRPs is "
+                "deprecated; pass a VrpSet",
+                DeprecationWarning, stacklevel=2,
+            )
+            vrps = VrpSet(vrps)
+        announced = vrps.added(self._current)
+        withdrawn = vrps.removed(self._current)
         if not announced and not withdrawn:
             return self.serial
         self.serial += 1
-        self._current = new_set
+        self._current = vrps
+        self._snapshot = None
         self._m_serial_bumps.inc()
-        self._m_vrps.set(len(new_set))
+        self._m_vrps.set(len(vrps))
         self._history[self.serial] = _Delta(announced, withdrawn)
-        stale = [s for s in self._history if s <= self.serial - self.history_window]
-        for s in stale:
-            del self._history[s]
+        self._history_vrps += len(announced) + len(withdrawn)
+        self._compact_history()
         self._notify_all()
         return self.serial
+
+    def _compact_history(self) -> None:
+        """Evict deltas past either bound; evicted serials need a reset.
+
+        The snapshot (``self._current``) always answers for compacted
+        serials, so eviction never loses data — it trades replay for a
+        full re-sync, keeping cache memory bounded no matter the churn.
+        """
+        floor = self.serial - self.history_window
+        while self._history:
+            oldest = min(self._history)
+            if oldest <= floor:
+                reason = "window"
+            elif self._history_vrps > self.max_history_vrps:
+                reason = "size"
+            else:
+                break
+            self._history_vrps -= self._history.pop(oldest).size
+            self._m_compactions.inc(reason=reason)
+        self._m_history_vrps.set(self._history_vrps)
+        self._m_history_serials.set(len(self._history))
 
     @property
     def vrp_count(self) -> int:
         return len(self._current)
 
-    # -- session management --------------------------------------------------------
+    @property
+    def delta_history_serials(self) -> int:
+        """Serials currently answerable from delta history."""
+        return len(self._history)
+
+    @property
+    def delta_history_vrps(self) -> int:
+        """Total VRPs held across the retained delta window."""
+        return self._history_vrps
+
+    def current_vrps(self) -> frozenset[VRP]:
+        """The served VRP set (the chained-tier equivalence probe)."""
+        return self._current.as_frozenset()
+
+    @property
+    def session_count(self) -> int:
+        return len(self.mux)
+
+    # -- session management ------------------------------------------------
 
     def attach(self, pipe: DuplexPipe) -> None:
         """Register a router session on *pipe*."""
-        self._sessions.append(_Session(pipe=pipe))
+        self.mux.attach(pipe)
+
+    def _count_label(self, label: str, amount: int = 1) -> None:
+        child = self._pdu_counters.get(label)
+        if child is None:
+            child = self._pdu_counters[label] = self._m_pdus.labels(type=label)
+        child.inc(amount)
 
     def _count_pdu(self, pdu: Pdu) -> None:
-        child = self._pdu_counters.get(type(pdu))
-        if child is None:
-            child = self._pdu_counters[type(pdu)] = (
-                self._m_pdus.labels(type=_pdu_label(pdu))
-            )
-        child.inc()
+        self._count_label(_pdu_label(pdu))
 
     def _notify_all(self) -> None:
-        notify = SerialNotify(self.session_id, self.serial)
-        encoded = encode_pdu(notify)
-        for session in self._sessions:
-            if session.alive and not session.pipe.closed:
-                try:
-                    session.pipe.to_router.send(encoded)
-                    self._count_pdu(notify)
-                except ChannelClosed:
-                    session.alive = False
+        encoded = encode_pdu(SerialNotify(self.session_id, self.serial))
+        delivered = self.mux.broadcast(encoded)
+        if delivered:
+            self._count_label("serial_notify", delivered)
 
     def process(self) -> None:
-        """Handle everything routers have sent since the last call."""
-        for session in self._sessions:
-            if not session.alive or session.pipe.closed:
-                continue
-            try:
-                data = session.receive_buffer + session.pipe.to_cache.receive()
-            except ChannelClosed:
-                session.alive = False
-                continue
-            try:
-                pdus, session.receive_buffer = decode_pdus(data)
-            except PduDecodeError as exc:
-                # Malformed bytes from a router: RFC 6810 §10 — report
-                # the error and drop the session rather than letting the
-                # parse exception reach the server loop.
+        """One mux tick: handle whatever routers have sent, fairly.
+
+        Sessions that sent more than the fairness budget stay ready and
+        continue on the next call; malformed bytes get an Error Report
+        and the drop (RFC 6810 §10) without disturbing siblings.
+        """
+        for event in self.mux.poll():
+            session = event.session
+            if event.error is not None:
+                # Malformed bytes from a router: the mux already dropped
+                # the session; report the error best-effort and move on.
                 self._m_errors.inc(kind="decode")
-                self._send(session, ErrorReport(error_code=0, text=str(exc)))
-                session.alive = False
-                session.receive_buffer = b""
+                self._send_final(session, ErrorReport(
+                    error_code=0, text=event.error,
+                ))
                 continue
-            for pdu in pdus:
+            if event.closed:
+                continue
+            for pdu in event.pdus:
                 try:
                     self._handle(session, pdu)
                 except Exception as exc:
                     self._m_errors.inc(kind="internal")
-                    self._send(session, ErrorReport(
+                    self._send_final(session, ErrorReport(
                         error_code=0,
                         text=f"internal error: {type(exc).__name__}",
                     ))
-                    session.alive = False
+                    self.mux.drop(session)
                     break
 
-    # -- protocol ----------------------------------------------------------------------
+    # -- protocol ----------------------------------------------------------
 
-    def _handle(self, session: _Session, pdu: Pdu) -> None:
+    def _handle(self, session: MuxSession, pdu: Pdu) -> None:
         if isinstance(pdu, ResetQuery):
             self._send_full(session)
         elif isinstance(pdu, SerialQuery):
             self._send_incremental(session, pdu)
         elif isinstance(pdu, ErrorReport):
-            session.alive = False
+            self.mux.drop(session)
         # Anything else from a router is a protocol violation; RFC 6810
         # says send an Error Report and drop the session.
         elif not isinstance(pdu, (SerialNotify,)):
             self._m_errors.inc(kind="protocol")
-            self._send(session, ErrorReport(error_code=3,
-                                            text=f"unexpected {type(pdu).__name__}"))
-            session.alive = False
-
-    def _send_full(self, session: _Session) -> None:
-        self._send(session, CacheResponse(self.session_id))
-        for vrp in sorted(self._current):
-            self._send(session, PrefixPdu(
-                announce=True, prefix=vrp.prefix,
-                max_length=vrp.max_length, asn=vrp.asn,
+            self._send_final(session, ErrorReport(
+                error_code=3, text=f"unexpected {type(pdu).__name__}",
             ))
-        self._send(session, EndOfData(self.session_id, self.serial))
+            self.mux.drop(session)
 
-    def _send_incremental(self, session: _Session, query: SerialQuery) -> None:
+    def _snapshot_burst(self) -> tuple[bytes, int]:
+        """The full-sync burst for the current serial, encoded once.
+
+        Returns ``(bytes, prefix_pdu_count)``; every router syncing at
+        this serial is served the same cached bytes.
+        """
+        if self._snapshot is None or self._snapshot[0] != self.serial:
+            parts = [encode_pdu(CacheResponse(self.session_id))]
+            count = 0
+            for vrp in self._current:  # cached sorted view
+                parts.append(encode_pdu(_prefix_pdu(True, vrp)))
+                count += 1
+            parts.append(encode_pdu(EndOfData(self.session_id, self.serial)))
+            self._snapshot = (self.serial, b"".join(parts), count)
+        return self._snapshot[1], self._snapshot[2]
+
+    def _send_full(self, session: MuxSession) -> None:
+        burst, prefixes = self._snapshot_burst()
+        if self._send_bytes(session, burst):
+            self._count_label("cache_response")
+            if prefixes:
+                self._count_label("prefix_pdu", prefixes)
+            self._count_label("end_of_data")
+
+    def _send_incremental(self, session: MuxSession, query: SerialQuery) -> None:
         if query.session_id != self.session_id:
             # The router is talking to a previous incarnation of this
             # cache; make it start over.
+            self._m_resets.inc(reason="session-id")
             self._send(session, CacheReset())
             return
         if query.serial == self.serial:
@@ -237,26 +360,42 @@ class RtrCacheServer:
             return
         needed = range(query.serial + 1, self.serial + 1)
         if not all(s in self._history for s in needed):
+            # The client is behind the compacted window: snapshot re-sync
+            # instead of replaying history the cache no longer holds.
+            self._m_resets.inc(reason="compacted")
             self._send(session, CacheReset())
             return
-        self._send(session, CacheResponse(self.session_id))
-        for s in needed:
-            delta = self._history[s]
-            for vrp in delta.withdrawn:
-                self._send(session, PrefixPdu(
-                    announce=False, prefix=vrp.prefix,
-                    max_length=vrp.max_length, asn=vrp.asn,
-                ))
-            for vrp in delta.announced:
-                self._send(session, PrefixPdu(
-                    announce=True, prefix=vrp.prefix,
-                    max_length=vrp.max_length, asn=vrp.asn,
-                ))
-        self._send(session, EndOfData(self.session_id, self.serial))
+        deltas = [self._history[s] for s in needed]
+        burst = b"".join(
+            [encode_pdu(CacheResponse(self.session_id))]
+            + [delta.encode() for delta in deltas]
+            + [encode_pdu(EndOfData(self.session_id, self.serial))]
+        )
+        if self._send_bytes(session, burst):
+            self._count_label("cache_response")
+            prefixes = sum(delta.size for delta in deltas)
+            if prefixes:
+                self._count_label("prefix_pdu", prefixes)
+            self._count_label("end_of_data")
 
-    def _send(self, session: _Session, pdu: Pdu) -> None:
+    # -- transmission ------------------------------------------------------
+
+    def _send_bytes(self, session: MuxSession, burst: bytes) -> bool:
         try:
-            session.pipe.to_router.send(encode_pdu(pdu))
+            session.send(burst)
+            return True
+        except ChannelClosed:
+            self.mux.drop(session)
+            return False
+
+    def _send(self, session: MuxSession, pdu: Pdu) -> None:
+        if self._send_bytes(session, encode_pdu(pdu)):
+            self._count_pdu(pdu)
+
+    def _send_final(self, session: MuxSession, pdu: Pdu) -> None:
+        """Best-effort send to a session being (or already) dropped."""
+        try:
+            session.send(encode_pdu(pdu))
             self._count_pdu(pdu)
         except ChannelClosed:
-            session.alive = False
+            pass

@@ -1,0 +1,217 @@
+"""An event-driven RTR session multiplexer with per-session fairness.
+
+One validating cache feeds a *fleet* of routers — route-server
+deployments hold thousands of concurrent RTR sessions, and the paper's
+whack/threat model reaches every one of them through this fan-out tier.
+Walking all sessions per tick is O(fleet) even when the fleet is idle;
+the :class:`SessionMux` instead keeps a **ready set** fed by channel
+listeners (see :meth:`repro.rtr.channel.Channel.subscribe`), so one tick
+costs O(sessions with pending bytes), the select/epoll shape of a real
+serving loop — on the simulated clock, with no threads.
+
+Fairness: a single chatty (or hostile, Stalloris-style slow-feeding)
+session must not starve its siblings, so each ready session is drained
+at most ``fairness_budget`` PDUs per tick.  Left-over decoded PDUs stay
+queued on the session and the session stays ready, guaranteeing every
+session makes progress every tick regardless of how much one peer sends.
+
+The mux owns transport concerns only — readiness, stream reassembly,
+decode errors, closed channels, fan-out writes.  Protocol semantics
+(what a Serial Query *means*) stay in :class:`repro.rtr.RtrCacheServer`,
+which consumes the :class:`MuxEvent` stream :meth:`SessionMux.poll`
+yields.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..telemetry import MetricsRegistry, default_registry
+from .channel import ChannelClosed, DuplexPipe
+from .pdu import Pdu, PduDecodeError, decode_pdus
+
+__all__ = ["MuxEvent", "MuxSession", "SessionMux"]
+
+_DEFAULT_FAIRNESS_BUDGET = 64
+
+
+@dataclass
+class MuxSession:
+    """One attached router session: pipe, reassembly buffer, PDU queue."""
+
+    sid: int
+    pipe: DuplexPipe
+    receive_buffer: bytes = b""
+    pending: deque[Pdu] = field(default_factory=deque)
+    alive: bool = True
+
+    def send(self, encoded: bytes) -> None:
+        """Write pre-encoded PDU bytes to the router side of the pipe."""
+        self.pipe.to_router.send(encoded)
+
+
+@dataclass(frozen=True)
+class MuxEvent:
+    """What one ready session produced in one tick.
+
+    Exactly one of three shapes: a batch of decoded ``pdus``, a fatal
+    ``error`` string (undecodable bytes — the session's buffers are
+    already cleared), or ``closed`` (the peer hung up).
+    """
+
+    session: MuxSession
+    pdus: tuple[Pdu, ...] = ()
+    error: str | None = None
+    closed: bool = False
+
+
+class SessionMux:
+    """Drains all attached sessions per tick, fairly, event-driven."""
+
+    def __init__(
+        self,
+        *,
+        fairness_budget: int = _DEFAULT_FAIRNESS_BUDGET,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if fairness_budget < 1:
+            raise ValueError("fairness budget must be at least 1")
+        self.fairness_budget = fairness_budget
+        self._sessions: dict[int, MuxSession] = {}
+        self._ready: set[int] = set()
+        self._next_sid = 0
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_sessions = self.metrics.gauge(
+            "repro_rtr_sessions", help="router sessions currently attached"
+        )
+        self._m_session_events = self.metrics.counter(
+            "repro_rtr_session_events_total",
+            help="session lifecycle events, by event",
+            labelnames=("event",),
+        )
+        self._m_ticks = self.metrics.counter(
+            "repro_rtr_mux_ticks_total", help="multiplexer poll ticks"
+        )
+        self._m_drained = self.metrics.counter(
+            "repro_rtr_pdus_drained_total",
+            help="PDUs drained from router sessions and handed upstream",
+        )
+        self._m_deferred = self.metrics.counter(
+            "repro_rtr_deferred_sessions_total",
+            help="per-tick session drains cut short by the fairness budget",
+        )
+
+    # -- membership --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def attach(self, pipe: DuplexPipe) -> MuxSession:
+        """Register a router session on *pipe* and watch it for input."""
+        sid = self._next_sid
+        self._next_sid += 1
+        session = MuxSession(sid=sid, pipe=pipe)
+        self._sessions[sid] = session
+        # The listener fires immediately if bytes are already buffered,
+        # so a session attached mid-conversation is ready at once.
+        pipe.to_cache.subscribe(lambda: self._ready.add(sid))
+        self._m_sessions.set(len(self._sessions))
+        self._m_session_events.inc(event="attached")
+        return session
+
+    def drop(self, session: MuxSession) -> None:
+        """Forget *session* entirely: no more reads, writes, or memory."""
+        if session.sid not in self._sessions:
+            return
+        session.alive = False
+        session.receive_buffer = b""
+        session.pending.clear()
+        session.pipe.to_cache.subscribe(None)
+        del self._sessions[session.sid]
+        self._ready.discard(session.sid)
+        self._m_sessions.set(len(self._sessions))
+        self._m_session_events.inc(event="dropped")
+
+    def sessions(self) -> list[MuxSession]:
+        """Live sessions, in attach order."""
+        return list(self._sessions.values())
+
+    # -- writes ------------------------------------------------------------
+
+    def broadcast(self, encoded: bytes) -> int:
+        """Send pre-encoded bytes to every live session; returns deliveries.
+
+        Sessions whose pipe has closed are dropped on the spot, so a
+        broadcast over a mostly-dead fleet self-prunes instead of paying
+        the dead sessions forever.
+        """
+        delivered = 0
+        for session in list(self._sessions.values()):
+            if session.pipe.closed:
+                self.drop(session)
+                continue
+            try:
+                session.send(encoded)
+                delivered += 1
+            except ChannelClosed:
+                self.drop(session)
+        return delivered
+
+    # -- the tick ----------------------------------------------------------
+
+    def poll(self) -> list[MuxEvent]:
+        """One tick: drain every ready session, fairness-budgeted.
+
+        Sessions become ready via channel listeners (bytes arrived, peer
+        closed), never by scanning; a session left with queued PDUs or
+        unread bytes stays ready for the next tick.  Ready sessions are
+        visited in ascending session id for determinism.
+        """
+        self._m_ticks.inc()
+        events: list[MuxEvent] = []
+        ready, self._ready = self._ready, set()
+        for sid in sorted(ready):
+            session = self._sessions.get(sid)
+            if session is None or not session.alive:
+                continue
+            event = self._drain(session)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def _drain(self, session: MuxSession) -> MuxEvent | None:
+        """Drain one session up to the fairness budget."""
+        closed = False
+        try:
+            data = session.receive_buffer + session.pipe.to_cache.receive()
+            session.receive_buffer = b""
+        except ChannelClosed:
+            data = session.receive_buffer
+            session.receive_buffer = b""
+            closed = True
+        closed = closed or session.pipe.closed
+        if data:
+            try:
+                pdus, session.receive_buffer = decode_pdus(data)
+            except PduDecodeError as exc:
+                self.drop(session)
+                return MuxEvent(session=session, error=str(exc))
+            session.pending.extend(pdus)
+        if closed and not session.pending:
+            self.drop(session)
+            self._m_session_events.inc(event="closed")
+            return MuxEvent(session=session, closed=True)
+        if not session.pending:
+            return None
+        batch: list[Pdu] = []
+        while session.pending and len(batch) < self.fairness_budget:
+            batch.append(session.pending.popleft())
+        self._m_drained.inc(len(batch))
+        if session.pending or session.receive_buffer or closed:
+            # More work than one fair share: stay ready, continue next
+            # tick so siblings get their turn first.
+            self._ready.add(session.sid)
+            if session.pending:
+                self._m_deferred.inc()
+        return MuxEvent(session=session, pdus=tuple(batch))

@@ -147,3 +147,24 @@ class TestStagedViolation:
         assert result.ok
         with pytest.raises(ValueError):
             shrink_plan(clean, result.plan)
+
+
+class TestFanOutTopology:
+    def test_chained_tiers_hold_equivalence(self):
+        config = CampaignConfig(seed=7, cycles=4, rtr_tiers=2, rtr_fanout=2)
+        result = run_campaign(config)
+        assert result.ok, str(result.violation)
+        assert result.chain_caches == 6  # 2 + 4
+
+    def test_chain_can_be_disabled(self):
+        result = run_campaign(CampaignConfig(seed=7, cycles=2, rtr_tiers=0))
+        assert result.ok
+        assert result.chain_caches == 0
+
+    def test_fan_out_campaign_is_deterministic(self):
+        config = CampaignConfig(seed=9, cycles=4, rtr_tiers=1, rtr_fanout=3)
+        one = run_campaign(config)
+        two = run_campaign(config)
+        assert one.ok and two.ok
+        assert one.rtr_events == two.rtr_events
+        assert one.faults_fired == two.faults_fired

@@ -150,3 +150,81 @@ class TestPrefixMap:
         assert m
         assert m.remove(p("10.0.0.0/8")) == 1
         assert not m
+
+
+class TestEdgeCases:
+    """The extremes the RIB and VRP index lean on."""
+
+    def test_default_route_insert_and_match(self):
+        trie = PrefixTrie(Afi.IPV4)
+        trie.insert(p("0.0.0.0/0"), "default")
+        trie.insert(p("10.0.0.0/8"), "ten")
+        assert trie[p("0.0.0.0/0")] == "default"
+        # The default route covers everything...
+        assert trie.longest_match(p("192.0.2.0/24")) == (
+            p("0.0.0.0/0"), "default")
+        # ...but loses to any more-specific entry.
+        assert trie.longest_match(p("10.1.0.0/16")) == (
+            p("10.0.0.0/8"), "ten")
+        assert list(trie.covering(p("10.0.0.0/8"))) == [
+            (p("0.0.0.0/0"), "default"), (p("10.0.0.0/8"), "ten")]
+
+    def test_v6_default_route(self):
+        trie = PrefixTrie(Afi.IPV6)
+        trie.insert(p("::/0"), "default")
+        assert trie.longest_match(p("2001:db8::/32")) == (
+            p("::/0"), "default")
+
+    def test_host_route_v4_longest_match(self):
+        trie = PrefixTrie(Afi.IPV4)
+        trie.insert(p("192.0.2.0/24"), "net")
+        trie.insert(p("192.0.2.1/32"), "host")
+        assert trie.longest_match(p("192.0.2.1/32")) == (
+            p("192.0.2.1/32"), "host")
+        assert trie.longest_match(p("192.0.2.2/32")) == (
+            p("192.0.2.0/24"), "net")
+
+    def test_host_route_v6_longest_match(self):
+        trie = PrefixTrie(Afi.IPV6)
+        trie.insert(p("2001:db8::/32"), "net")
+        trie.insert(p("2001:db8::1/128"), "host")
+        assert trie.longest_match(p("2001:db8::1/128")) == (
+            p("2001:db8::1/128"), "host")
+        assert trie.longest_match(p("2001:db8::2/128")) == (
+            p("2001:db8::/32"), "net")
+
+    def test_remove_interior_node_keeps_children(self):
+        trie = PrefixTrie(Afi.IPV4)
+        trie.insert(p("10.0.0.0/8"), "parent")
+        trie.insert(p("10.0.0.0/16"), "left")
+        trie.insert(p("10.128.0.0/16"), "right")
+        assert trie.remove(p("10.0.0.0/8")) == "parent"
+        assert len(trie) == 2
+        assert p("10.0.0.0/8") not in trie
+        # The children survive and still answer structural queries.
+        assert trie[p("10.0.0.0/16")] == "left"
+        assert trie[p("10.128.0.0/16")] == "right"
+        assert trie.longest_match(p("10.0.1.0/24")) == (
+            p("10.0.0.0/16"), "left")
+        assert sorted(v for _prefix, v in trie.covered_by(
+            p("10.0.0.0/8"))) == ["left", "right"]
+
+    def test_covered_by_yields_address_order(self):
+        trie = PrefixTrie(Afi.IPV4)
+        entries = [
+            ("10.64.0.0/16", "c"),
+            ("10.0.0.0/8", "a"),
+            ("10.0.0.0/16", "b"),
+            ("10.64.1.0/24", "d"),
+            ("10.128.0.0/16", "e"),
+        ]
+        for text, value in entries:
+            trie.insert(p(text), value)
+        got = list(trie.covered_by(p("10.0.0.0/8")))
+        assert got == [
+            (p("10.0.0.0/8"), "a"),
+            (p("10.0.0.0/16"), "b"),
+            (p("10.64.0.0/16"), "c"),
+            (p("10.64.1.0/24"), "d"),
+            (p("10.128.0.0/16"), "e"),
+        ]

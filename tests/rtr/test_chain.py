@@ -1,0 +1,133 @@
+"""Tests for cache-to-cache chaining and the fan-out tree."""
+
+import pytest
+
+from repro.rp import VRP, VrpSet
+from repro.rtr import (
+    CacheChain,
+    ChainedRtrCache,
+    DuplexPipe,
+    RouterState,
+    RtrCacheServer,
+    RtrRouterClient,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def vrps(*specs):
+    return VrpSet(VRP.parse(text, asn) for text, asn in specs)
+
+
+BASE = [("10.0.0.0/8", 64500), ("192.0.2.0/24-28", 64501)]
+
+
+def make_root(initial=BASE):
+    root = RtrCacheServer(metrics=MetricsRegistry())
+    if initial:
+        root.update(vrps(*initial))
+    return root
+
+
+class TestChainedCache:
+    def test_single_link_propagates(self):
+        root = make_root()
+        link = ChainedRtrCache(root)
+        for _ in range(4):
+            root.process()
+            link.pump()
+        assert link.current_vrps() == root.current_vrps()
+
+    def test_delta_propagates_without_reset(self):
+        root = make_root()
+        link = ChainedRtrCache(root)
+        for _ in range(4):
+            root.process()
+            link.pump()
+        root.update(vrps(*BASE, ("198.51.100.0/24", 64502)))
+        for _ in range(4):
+            root.process()
+            link.pump()
+        assert link.current_vrps() == root.current_vrps()
+        # Content propagated, but the serial space is the link's own.
+        assert link.server.serial == 2
+
+    def test_idle_pump_is_a_no_op(self):
+        root = make_root()
+        link = ChainedRtrCache(root)
+        for _ in range(4):
+            root.process()
+            link.pump()
+        serial = link.server.serial
+        for _ in range(5):
+            root.process()
+            link.pump()
+        assert link.server.serial == serial
+
+    def test_severed_upstream_heals_by_reconnect(self):
+        root = make_root()
+        link = ChainedRtrCache(root)
+        for _ in range(4):
+            root.process()
+            link.pump()
+        link.pipe.close()
+        root.update(vrps(*BASE, ("203.0.113.0/24", 64503)))
+        for _ in range(6):
+            root.process()
+            link.pump()
+        assert link.client.state is RouterState.SYNCED
+        assert link.current_vrps() == root.current_vrps()
+        assert root.metrics.get(
+            "repro_rtr_chain_reconnects_total").value() >= 1
+
+
+class TestCacheChain:
+    def test_tree_shape(self):
+        root = make_root()
+        chain = CacheChain(root, tiers=2, fanout=3)
+        assert len(chain.tier(0)) == 3
+        assert len(chain.tier(1)) == 9
+        assert len(chain.caches()) == 12
+        assert chain.deepest() == chain.tier(1)
+        assert root.session_count == 3  # the root only carries tier 0
+
+    def test_pump_converges_every_tier(self):
+        root = make_root()
+        chain = CacheChain(root, tiers=2, fanout=2)
+        chain.pump()
+        assert chain.divergent() == []
+        for cache in chain.caches():
+            assert cache.current_vrps() == root.current_vrps()
+
+    def test_update_reaches_the_deepest_tier(self):
+        root = make_root()
+        chain = CacheChain(root, tiers=3, fanout=1)
+        chain.pump()
+        root.update(vrps(*BASE, ("198.51.100.0/24", 64502)))
+        chain.pump()
+        assert chain.divergent() == []
+
+    def test_routers_on_the_edge_see_the_rp_set(self):
+        root = make_root()
+        chain = CacheChain(root, tiers=1, fanout=2)
+        chain.pump()
+        routers = []
+        for cache in chain.deepest():
+            pipe = DuplexPipe()
+            cache.server.attach(pipe)
+            client = RtrRouterClient(pipe)
+            client.connect()
+            routers.append((cache, client))
+        for _ in range(3):
+            for cache, client in routers:
+                cache.server.process()
+                client.process()
+        for _cache, client in routers:
+            assert client.state is RouterState.SYNCED
+            assert client.vrp_set().as_frozenset() == root.current_vrps()
+
+    def test_bad_shape_rejected(self):
+        root = make_root()
+        with pytest.raises(ValueError):
+            CacheChain(root, tiers=0)
+        with pytest.raises(ValueError):
+            CacheChain(root, tiers=1, fanout=0)

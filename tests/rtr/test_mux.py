@@ -1,0 +1,173 @@
+"""Tests for the event-driven session multiplexer."""
+
+import pytest
+
+from repro.rtr import DuplexPipe, SessionMux
+from repro.rtr.pdu import ResetQuery, SerialQuery, encode_pdu
+from repro.telemetry import MetricsRegistry
+
+
+def attach_one(mux):
+    pipe = DuplexPipe()
+    session = mux.attach(pipe)
+    return pipe, session
+
+
+class TestReadiness:
+    def test_idle_sessions_produce_no_events(self):
+        mux = SessionMux()
+        for _ in range(5):
+            attach_one(mux)
+        assert mux.poll() == []
+
+    def test_send_marks_session_ready(self):
+        mux = SessionMux()
+        pipe, session = attach_one(mux)
+        attach_one(mux)  # idle sibling
+        pipe.to_cache.send(encode_pdu(ResetQuery()))
+        events = mux.poll()
+        assert len(events) == 1
+        assert events[0].session is session
+        assert len(events[0].pdus) == 1
+        assert isinstance(events[0].pdus[0], ResetQuery)
+
+    def test_bytes_buffered_before_attach_are_seen(self):
+        mux = SessionMux()
+        pipe = DuplexPipe()
+        pipe.to_cache.send(encode_pdu(ResetQuery()))
+        session = mux.attach(pipe)
+        events = mux.poll()
+        assert [e.session for e in events] == [session]
+
+    def test_event_consumed_only_once(self):
+        mux = SessionMux()
+        pipe, _session = attach_one(mux)
+        pipe.to_cache.send(encode_pdu(ResetQuery()))
+        assert len(mux.poll()) == 1
+        assert mux.poll() == []
+
+    def test_partial_pdu_completes_across_ticks(self):
+        mux = SessionMux()
+        pipe, session = attach_one(mux)
+        encoded = encode_pdu(SerialQuery(1, 7))
+        pipe.to_cache.send(encoded[:5])
+        assert mux.poll() == []  # incomplete: buffered, no event
+        pipe.to_cache.send(encoded[5:])
+        events = mux.poll()
+        assert len(events) == 1
+        assert events[0].pdus[0] == SerialQuery(1, 7)
+        assert session.receive_buffer == b""
+
+    def test_ready_order_is_deterministic(self):
+        mux = SessionMux()
+        pipes = [attach_one(mux)[0] for _ in range(4)]
+        for pipe in reversed(pipes):
+            pipe.to_cache.send(encode_pdu(ResetQuery()))
+        events = mux.poll()
+        sids = [event.session.sid for event in events]
+        assert sids == sorted(sids)
+
+
+class TestFairness:
+    def test_budget_limits_batch_size(self):
+        mux = SessionMux(fairness_budget=3)
+        pipe, session = attach_one(mux)
+        for _ in range(8):
+            pipe.to_cache.send(encode_pdu(ResetQuery()))
+        batches = [len(mux.poll()[0].pdus) for _ in range(3)]
+        assert batches == [3, 3, 2]
+        assert mux.poll() == []
+        assert not session.pending
+
+    def test_chatty_session_does_not_starve_sibling(self):
+        mux = SessionMux(fairness_budget=2)
+        noisy, _ = attach_one(mux)
+        quiet, quiet_session = attach_one(mux)
+        for _ in range(10):
+            noisy.to_cache.send(encode_pdu(ResetQuery()))
+        quiet.to_cache.send(encode_pdu(ResetQuery()))
+        events = mux.poll()
+        served = {event.session.sid for event in events}
+        assert quiet_session.sid in served
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            SessionMux(fairness_budget=0)
+
+
+class TestLifecycle:
+    def test_closed_pipe_yields_closed_event_and_drop(self):
+        mux = SessionMux()
+        pipe, session = attach_one(mux)
+        pipe.close()
+        events = mux.poll()
+        assert len(events) == 1
+        assert events[0].closed
+        assert len(mux) == 0 and session not in mux.sessions()
+
+    def test_data_then_close_delivers_data_first(self):
+        mux = SessionMux()
+        pipe, _session = attach_one(mux)
+        pipe.to_cache.send(encode_pdu(ResetQuery()))
+        pipe.close()
+        first = mux.poll()
+        assert len(first[0].pdus) == 1 and not first[0].closed
+        second = mux.poll()
+        assert len(second) == 1 and second[0].closed
+        assert len(mux) == 0
+
+    def test_decode_error_drops_session(self):
+        mux = SessionMux()
+        pipe, _session = attach_one(mux)
+        pipe.to_cache.send(b"\x99\x00\x00\x07chaos!")
+        events = mux.poll()
+        assert events[0].error is not None
+        assert len(mux) == 0
+
+    def test_dropped_session_never_wakes_again(self):
+        mux = SessionMux()
+        pipe, session = attach_one(mux)
+        mux.drop(session)
+        pipe.to_cache.send(encode_pdu(ResetQuery()))  # listener removed
+        assert mux.poll() == []
+
+    def test_drop_is_idempotent(self):
+        mux = SessionMux()
+        _pipe, session = attach_one(mux)
+        mux.drop(session)
+        mux.drop(session)
+        assert len(mux) == 0
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_live_sessions(self):
+        mux = SessionMux()
+        pipes = [attach_one(mux)[0] for _ in range(3)]
+        delivered = mux.broadcast(b"hello")
+        assert delivered == 3
+        assert all(p.to_router.receive() == b"hello" for p in pipes)
+
+    def test_broadcast_prunes_closed_sessions(self):
+        mux = SessionMux()
+        live, _ = attach_one(mux)
+        dead, _ = attach_one(mux)
+        dead.close()
+        assert mux.broadcast(b"x") == 1
+        assert len(mux) == 1
+        assert live.to_router.receive() == b"x"
+
+
+class TestTelemetry:
+    def test_mux_metrics_move(self):
+        registry = MetricsRegistry()
+        mux = SessionMux(fairness_budget=1, metrics=registry)
+        pipe, _session = attach_one(mux)
+        pipe.to_cache.send(encode_pdu(ResetQuery()) * 2)
+        mux.poll()  # first of two PDUs; deferred
+        mux.poll()
+        assert registry.get("repro_rtr_sessions").value() == 1
+        assert registry.get(
+            "repro_rtr_session_events_total").value(event="attached") == 1
+        assert registry.get("repro_rtr_pdus_drained_total").value() == 2
+        assert registry.get("repro_rtr_deferred_sessions_total").value() >= 1
+        assert registry.get("repro_rtr_mux_ticks_total").value() >= 2

@@ -1,5 +1,7 @@
 """Tests for the RTR cache server and router client state machines."""
 
+import warnings
+
 import pytest
 
 from repro.rp import VRP, VrpSet
@@ -303,3 +305,104 @@ class TestEndToEndWithRelyingParty:
         pump(server, router)
         assert router.vrp_count == 7
         assert classify(route, router.vrp_set()) is not RouteValidity.VALID
+
+
+class TestDeltaCompaction:
+    def test_history_bounded_by_window(self):
+        server, client = make_pair(history_window=3)
+        base = list(FIGURE2)
+        for i in range(8):
+            base.append((f"10.{i}.0.0/16", 64512 + i))
+            server.update(vrps(*base))
+        assert server.delta_history_serials <= 3
+        assert server.metrics.get(
+            "repro_rtr_compactions_total").value(reason="window") > 0
+
+    def test_history_bounded_by_vrp_size(self):
+        server = RtrCacheServer(history_window=64, max_history_vrps=4)
+        base = []
+        for i in range(6):
+            base.append((f"10.{i}.0.0/16", 64512 + i))
+            server.update(vrps(*base))
+        assert server.delta_history_vrps <= 4
+        assert server.metrics.get(
+            "repro_rtr_compactions_total").value(reason="size") > 0
+
+    def test_compacted_serial_answered_with_reset(self):
+        server, client = make_pair(history_window=2)
+        client.connect()
+        pump(server, client)
+        base = list(FIGURE2)
+        for i in range(5):
+            base.append((f"10.{i}.0.0/16", 64512 + i))
+            server.update(vrps(*base))
+            server.process()
+        resets = server.metrics.get("repro_rtr_cache_resets_total")
+        before = resets.value(reason="compacted")
+        client.poll()
+        pump(server, client)
+        assert resets.value(reason="compacted") == before + 1
+        assert client.state is RouterState.SYNCED
+        assert client.vrp_set() == vrps(*base)
+
+    def test_in_window_serial_still_served_incrementally(self):
+        server, client = make_pair(history_window=8)
+        client.connect()
+        pump(server, client)
+        resets = server.metrics.get("repro_rtr_cache_resets_total")
+        before = (resets.value(reason="compacted")
+                  + resets.value(reason="session-id"))
+        server.update(vrps(*FIGURE2, ("10.0.0.0/16", 64512)))
+        pump(server, client)
+        assert client.vrp_count == 4
+        after = (resets.value(reason="compacted")
+                 + resets.value(reason="session-id"))
+        assert after == before
+
+    def test_snapshot_burst_cached_per_serial(self):
+        server, _client = make_pair()
+        burst, count = server._snapshot_burst()
+        again, _count = server._snapshot_burst()
+        assert again is burst  # same serial: same cached bytes
+        server.update(vrps(*FIGURE2, ("10.0.0.0/16", 64512)))
+        rebuilt, rebuilt_count = server._snapshot_burst()
+        assert rebuilt is not burst
+        assert rebuilt_count == count + 1
+
+    def test_history_gauges_track(self):
+        server, _client = make_pair(history_window=4)
+        registry = server.metrics
+        server.update(vrps(*FIGURE2, ("10.0.0.0/16", 64512)))
+        assert registry.get(
+            "repro_rtr_delta_history_serials").value() == float(
+                server.delta_history_serials)
+        assert registry.get(
+            "repro_rtr_delta_history_vrps").value() == float(
+                server.delta_history_vrps)
+
+
+class TestUpdateUnification:
+    def test_raw_set_is_deprecated_but_works(self):
+        server = RtrCacheServer()
+        raw = {VRP.parse(text, asn) for text, asn in FIGURE2}
+        with pytest.deprecated_call():
+            serial = server.update(raw)
+        assert serial == 1
+        assert server.current_vrps() == vrps(*FIGURE2).as_frozenset()
+
+    def test_raw_set_computes_the_same_deltas(self):
+        server = RtrCacheServer()
+        server.update(vrps(*FIGURE2))
+        with pytest.deprecated_call():
+            server.update({
+                VRP.parse(text, asn) for text, asn in FIGURE2[:1]
+            })
+        assert server.serial == 2
+        assert server.current_vrps() == vrps(*FIGURE2[:1]).as_frozenset()
+
+    def test_vrpset_path_emits_no_warning(self):
+        server = RtrCacheServer()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            server.update(vrps(*FIGURE2))
+        assert server.serial == 1

@@ -202,3 +202,29 @@ class TestSideEffectsCommand:
     def test_granularity(self, capsys):
         out = run(capsys, "granularity")
         assert "1048576" in out and "256" in out
+
+
+class TestRtrCommand:
+    def test_rtr_smoke(self, capsys):
+        out = run(capsys, "rtr")
+        assert "RTR fan-out over the 'small' deployment" in out
+        assert "2 tier(s) x fanout 2 = 6 non-validating caches" in out
+        # Every edge router converges on the validating RP's exact set.
+        assert "12 attached at the edge, 12 synced, " \
+               "12 serving exactly the validating RP's set" in out
+        assert "divergent deep caches: 0" in out
+        # The laggard falls out of the window and resyncs via Cache Reset.
+        assert "Cache Reset answers (reason=compacted): 0 -> 1" in out
+        # Malformed bytes cost exactly one session, nothing else.
+        assert "Error Report sent, session dropped" in out
+        assert "surviving sessions unaffected" in out
+
+    def test_rtr_topology_flags(self, capsys):
+        out = run(capsys, "rtr", "--tiers", "1", "--fanout", "3",
+                  "--routers", "2")
+        assert "1 tier(s) x fanout 3 = 3 non-validating caches" in out
+        assert "6 attached at the edge, 6 synced" in out
+
+    def test_rtr_seed_and_scale(self, capsys):
+        out = run(capsys, "rtr", "--seed", "11", "--scale", "medium")
+        assert "RTR fan-out over the 'medium' deployment (seed 11)" in out

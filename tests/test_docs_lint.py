@@ -1,7 +1,9 @@
 """Tier-1 hook for the docs lint (tools/check_docs.py).
 
-Fails the suite if any module under ``src/repro`` lacks a docstring or
-any internal markdown link in docs/ (or the top-level pages) is broken.
+Fails the suite if any module under ``src/repro`` lacks a docstring, any
+internal markdown link in docs/ (or the top-level pages) is broken, or
+any ``python -m repro <subcommand>`` mentioned in the docs no longer
+exists in ``repro.cli``.
 """
 
 import pathlib
@@ -48,3 +50,38 @@ def test_fragments_are_stripped(tmp_path):
     page.write_text("[ok](real.md#anchor)\n")
     (tmp_path / "real.md").write_text("hi\n")
     assert check_docs.check_links_in(page) == []
+
+
+def test_every_cli_mention_exists():
+    problems = check_docs.check_cli_mentions()
+    assert problems == [], "\n".join(problems)
+
+
+def test_cli_subcommands_read_without_import():
+    commands = check_docs.cli_subcommands()
+    assert "rtr" in commands and "chaos" in commands and "all" in commands
+
+
+def test_cli_table_parse_matches_registry():
+    # The AST reading must agree with the real parser's registry.
+    import importlib
+
+    src = str(TOOLS.parent / "src")
+    sys.path.insert(0, src)
+    try:
+        cli = importlib.import_module("repro.cli")
+        assert check_docs.cli_subcommands() == set(cli._COMMANDS)
+    finally:
+        sys.path.remove(src)
+
+
+def test_lint_catches_unknown_subcommand(tmp_path, monkeypatch):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "page.md").write_text(
+        "Run `python -m repro rtr` then `python -m repro bogus`.\n"
+        "Placeholders like python -m repro <cmd> are skipped.\n"
+    )
+    problems = check_docs.check_cli_mentions(tmp_path)
+    assert len(problems) == 1
+    assert "bogus" in problems[0] and "rtr" not in problems[0].split("->")[1]

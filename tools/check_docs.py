@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Docs lint: module docstrings present, internal markdown links resolve.
+"""Docs lint: docstrings present, links resolve, CLI mentions exist.
 
-Two checks, both cheap enough to live in tier-1:
+Three checks, all cheap enough to live in tier-1:
 
 1. **Docstrings.**  Every module under ``src/repro`` (packages included)
    must open with a non-empty docstring.  The API reference in
@@ -13,6 +13,12 @@ Two checks, both cheap enough to live in tier-1:
    exists (fragments stripped; ``http(s)://`` / ``mailto:`` and
    pure-fragment ``#anchor`` links are skipped).  Docs rot silently —
    this is the tripwire.
+
+3. **CLI drift.**  Every ``python -m repro <subcommand>`` mentioned
+   anywhere in the docs pages must name a subcommand that actually
+   exists in ``repro.cli`` (read by AST from the ``_COMMANDS`` table, so
+   the lint never imports the package).  Placeholders like
+   ``python -m repro <cmd>`` are skipped.
 
 Run directly (``python tools/check_docs.py``, exit 1 on problems) or via
 the tier-1 test ``tests/test_docs_lint.py``.
@@ -37,6 +43,10 @@ TOP_LEVEL_PAGES = (
 # [text](target) — target up to the first whitespace or closing paren.
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _EXTERNAL = ("http://", "https://", "mailto:")
+
+# "python -m repro <word>" — the word must be a real subcommand.  Only
+# bare command words are captured; placeholders like "<cmd>" don't match.
+_CLI_RE = re.compile(r"python\s+-m\s+repro\s+([A-Za-z0-9_-]+)")
 
 
 def check_docstrings(src_root: pathlib.Path = SRC_ROOT) -> list[str]:
@@ -90,8 +100,54 @@ def check_links(repo_root: pathlib.Path = REPO_ROOT) -> list[str]:
     return problems
 
 
+def cli_subcommands(
+    cli_path: pathlib.Path | None = None,
+) -> set[str]:
+    """The keys of ``_COMMANDS`` in ``repro.cli``, read without importing.
+
+    The table is a module-level ``_COMMANDS: dict = {"name": handler,
+    ...}`` assignment; its string keys are the registered subcommands.
+    """
+    if cli_path is None:
+        cli_path = SRC_ROOT / "cli.py"
+    tree = ast.parse(cli_path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        names = {t.id for t in targets if isinstance(t, ast.Name)}
+        if "_COMMANDS" not in names or not isinstance(node.value, ast.Dict):
+            continue
+        return {
+            key.value for key in node.value.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+    raise LookupError(f"no _COMMANDS dict found in {cli_path}")
+
+
+def check_cli_mentions(repo_root: pathlib.Path = REPO_ROOT) -> list[str]:
+    """Every ``python -m repro X`` in the docs names a real subcommand."""
+    commands = cli_subcommands()
+    problems = []
+    for path in markdown_files(repo_root):
+        text = path.read_text(encoding="utf-8")
+        rel = path.relative_to(repo_root) if path.is_relative_to(
+            repo_root) else path
+        for mentioned in _CLI_RE.findall(text):
+            if mentioned not in commands:
+                problems.append(
+                    f"{rel}: unknown CLI subcommand in docs -> "
+                    f"python -m repro {mentioned}"
+                )
+    return problems
+
+
 def check_all() -> list[str]:
-    return check_docstrings() + check_links()
+    return check_docstrings() + check_links() + check_cli_mentions()
 
 
 def main() -> int:
@@ -101,7 +157,8 @@ def main() -> int:
     if problems:
         print(f"{len(problems)} docs problem(s)", file=sys.stderr)
         return 1
-    print("docs lint ok: every module documented, every link resolves")
+    print("docs lint ok: every module documented, every link resolves, "
+          "every CLI mention exists")
     return 0
 
 
