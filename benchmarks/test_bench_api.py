@@ -25,7 +25,7 @@ import time
 from conftest import write_artifact
 
 from repro.api import ApiConfig, QueryService
-from repro.modelgen import DeploymentConfig, build_deployment
+from repro.modelgen import INTERNET_SCALES, DeploymentConfig, build_deployment
 from repro.repository import FaultInjector, FaultKind, Fetcher
 from repro.rp import RelyingParty
 from repro.rp.origin import validate
@@ -168,9 +168,78 @@ def test_100_cycle_campaign_serves_zero_stale_answers():
     }
 
 
+def test_internet_scale_throughput():
+    """Re-bench the qps floor at an Internet-scale VRP count (10^4).
+
+    The mixed stream is longer than the LRU, so most queries miss the
+    response cache and the floor is carried by the shard tries and ASN
+    indexes themselves — a strictly harder configuration than the
+    cache-served medium deployment above.
+    """
+    world = build_deployment(INTERNET_SCALES["internet-small"])
+    rp, service = _service_over(world, mode="incremental")
+    world.clock.advance(HOUR)
+    service.refresh()
+
+    rng = random.Random(5)
+    vrps = sorted(rp.vrps)
+    queries = []
+    for vrp in vrps:
+        queries.append(("validate", vrp.prefix, int(vrp.asn)))
+        queries.append(("validate", vrp.prefix, 64666))
+        queries.append(("prefix", str(vrp.prefix), None))
+        queries.append(("asn", int(vrp.asn), None))
+    rng.shuffle(queries)
+
+    served = 0
+    start = time.perf_counter()
+    while served < THROUGHPUT_QUERIES:
+        kind, a, b = queries[served % len(queries)]
+        if kind == "validate":
+            response = service.validate_route(a, b)
+        elif kind == "prefix":
+            response = service.lookup_prefix(a)
+        else:
+            response = service.lookup_asn(a)
+        assert response.ok
+        served += 1
+    elapsed = time.perf_counter() - start
+
+    qps = served / elapsed
+    hits, misses, _evictions = service.cache_stats()
+    assert qps >= MIN_QPS, (
+        f"query plane too slow at 10^4 VRPs: {qps:,.0f} qps (need "
+        f"{MIN_QPS:,})"
+    )
+    _RESULTS["internet"] = {
+        "scale": "internet-small",
+        "vrps": len(vrps),
+        "queries": served,
+        "seconds": round(elapsed, 4),
+        "qps": round(qps),
+        "min_qps_required": MIN_QPS,
+        "cache_hit_rate": round(hits / (hits + misses), 4),
+    }
+
+
 def test_write_artifact():
     assert "throughput" in _RESULTS and "campaign" in _RESULTS
+    assert "internet" in _RESULTS
     write_artifact("BENCH_api.json", json.dumps({
         "experiment": "api",
+        "pins": {
+            "qps": {
+                "measured": _RESULTS["throughput"]["qps"],
+                "bound": MIN_QPS, "op": ">=",
+            },
+            "internet_qps": {
+                "measured": _RESULTS["internet"]["qps"],
+                "bound": MIN_QPS, "op": ">=",
+            },
+            "campaign_divergences": {
+                "measured": _RESULTS["campaign"]["divergences"],
+                "bound": 0, "op": "==",
+            },
+        },
         **_RESULTS,
     }, indent=2) + "\n")

@@ -115,8 +115,19 @@ def test_200_cycle_campaign_acceptance():
 def test_write_artifact():
     clean = _refresh_seconds(faulted=False)
     faulted = _refresh_seconds(faulted=True)
+    campaign = _TIMINGS.get("campaign", {})
     write_artifact("BENCH_chaos.json", json.dumps({
         "experiment": "chaos",
+        "pins": {
+            "faulted_over_clean_ratio": {
+                "measured": round(faulted / clean, 3),
+                "bound": 2.0, "op": "<=",
+            },
+            "campaign_violations": {
+                "measured": 0 if campaign.get("violation") is None else 1,
+                "bound": 0, "op": "==",
+            },
+        },
         "refresh_overhead": {
             "scale": {
                 "isps_per_rir": MEDIUM.isps_per_rir,
@@ -132,5 +143,5 @@ def test_write_artifact():
             "byzantine_load": [k.value for k in BYZANTINE_LOAD],
             "background_drop_rate": 0.02,
         },
-        "campaign": _TIMINGS.get("campaign", {}),
+        "campaign": campaign,
     }, indent=2) + "\n")

@@ -117,6 +117,33 @@ def test_rtr_codec_throughput(benchmark):
     assert len(decoded) == len(pdus) and rest == b""
 
 
+def test_vrpset_bulk_construction_10k(benchmark):
+    """Bulk-build a 10^4-VRP set: one extend, one view invalidation.
+
+    The per-``add`` path invalidates the cached sorted/frozen/hash views
+    on every insertion; :meth:`VrpSet.extend` batches the whole stream
+    into a single invalidation, the construction pattern a streaming
+    refresh uses at Internet scale.
+    """
+    rng = random.Random(13)
+    raw = []
+    for _ in range(10_000):
+        length = rng.randint(12, 24)
+        network = (rng.getrandbits(32) >> (32 - length)) << (32 - length)
+        prefix = Prefix(Afi.IPV4, network, length)
+        raw.append(VRP(prefix, min(32, length + rng.randint(0, 8)),
+                       ASN(rng.randint(1, 65000))))
+
+    def bulk_build():
+        vrps = VrpSet()
+        vrps.extend(raw)
+        return vrps
+
+    vrps = benchmark(bulk_build)
+    assert len(vrps) == len(set(raw))
+    assert vrps.content_hash()  # views build once, after the bulk load
+
+
 def test_vrpset_difference_2k(benchmark):
     """Monitor-style delta of two ~2k-VRP sets (cached sorted/frozen views)."""
     before = build_vrp_set(count=2000, seed=11)

@@ -134,6 +134,11 @@ def test_write_artifacts():
     write_artifact("parallel_speedup.txt", "\n".join(lines) + "\n")
     write_artifact("BENCH_parallel.json", json.dumps({
         "experiment": "parallel",
+        "pins": {
+            "speedup_large_4v0": {
+                "measured": round(ratio, 3), "bound": 2.0, "op": ">=",
+            },
+        },
         "unit": "seconds (min of %d cold refreshes)" % REPEATS,
         "worker_counts": list(WORKER_COUNTS),
         "scales": {

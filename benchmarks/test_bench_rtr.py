@@ -24,7 +24,7 @@ import time
 
 from conftest import write_artifact
 
-from repro.modelgen import DeploymentConfig, build_deployment
+from repro.modelgen import INTERNET_SCALES, DeploymentConfig, build_deployment
 from repro.repository import PERSISTENT, FaultInjector, FaultKind, Fetcher
 from repro.rp import RelyingParty
 from repro.rtr import (
@@ -244,12 +244,122 @@ def test_per_cycle_cost_bounded():
     assert rate >= 2000, f"serve throughput {rate:.0f} session-syncs/s"
 
 
+INTERNET_SESSIONS = 32
+INTERNET_CHURN_CYCLES = 3
+
+# Kept separate from _RESULTS: that dict doubles as _run_fleet()'s memo
+# ("if _RESULTS: return"), so foreign keys must never land in it.
+_INTERNET_RESULTS: dict = {}
+
+
+def test_internet_scale_session_sync():
+    """Re-bench RTR serving at an Internet-scale VRP count (10^4).
+
+    A full snapshot sync now moves 10^4 prefix PDUs per session, so the
+    cost model the 1,015-session fleet pins — snapshots are paid once,
+    churn is O(delta x sessions) — is re-asserted where snapshots are
+    three hundred times heavier.
+    """
+    world = build_deployment(INTERNET_SCALES["internet-small"])
+    metrics = MetricsRegistry()
+    fetcher = Fetcher(world.registry, world.clock, metrics=metrics)
+    rp = RelyingParty(world.trust_anchors, fetcher, mode="incremental",
+                      metrics=metrics)
+    world.clock.advance(HOUR)
+    rp.refresh()
+
+    root = RtrCacheServer(history_window=HISTORY_WINDOW, metrics=metrics)
+    root.update(rp.vrps)
+    sessions = []
+    for _ in range(INTERNET_SESSIONS):
+        pipe = DuplexPipe()
+        root.attach(pipe)
+        client = RtrRouterClient(pipe)
+        client.connect()
+        sessions.append(client)
+
+    pdu_counter = metrics.get("repro_rtr_pdus_sent_total")
+    start = time.perf_counter()
+    root.process()
+    for client in sessions:
+        client.process()
+    snapshot_seconds = time.perf_counter() - start
+    truth = rp.vrps.as_frozenset()
+    assert all(c.state is RouterState.SYNCED for c in sessions)
+    assert all(c.vrp_set().as_frozenset() == truth for c in sessions)
+    snapshot_pdus = pdu_counter.value(type="prefix_pdu")
+    pdus_per_second = snapshot_pdus / max(snapshot_seconds, 1e-9)
+
+    donor = next(ca for ca in world.authorities() if ca.issued_roas)
+    prefix = donor.issued_roas[
+        sorted(donor.issued_roas)[0]
+    ].prefixes[0].prefix
+    churn_pdus = []
+    start = time.perf_counter()
+    for cycle in range(INTERNET_CHURN_CYCLES):
+        donor.issue_roa(65000 + cycle, str(prefix),
+                        name=f"inet-{cycle}.roa")
+        world.clock.advance(HOUR)
+        rp.refresh()
+        before = pdu_counter.value(type="prefix_pdu")
+        root.update(rp.vrps)
+        # Two half-rounds: Notify answered with Serial Query, then the
+        # delta burst applied.
+        for _ in range(2):
+            root.process()
+            for client in sessions:
+                client.process()
+        churn_pdus.append(pdu_counter.value(type="prefix_pdu") - before)
+    churn_seconds = time.perf_counter() - start
+    # Each cycle adds one VRP: delta serving must stay O(delta x
+    # sessions), never a re-send of the 10^4-entry snapshot.
+    for cycle, cost in enumerate(churn_pdus):
+        assert cost <= 2 * INTERNET_SESSIONS, (
+            f"cycle {cycle}: {cost:.0f} prefix PDUs for a 1-VRP delta "
+            f"across {INTERNET_SESSIONS} sessions"
+        )
+    truth = rp.vrps.as_frozenset()
+    assert all(c.vrp_set().as_frozenset() == truth for c in sessions)
+
+    _INTERNET_RESULTS.update({
+        "scale": "internet-small",
+        "vrps": len(rp.vrps),
+        "sessions": INTERNET_SESSIONS,
+        "snapshot_seconds": round(snapshot_seconds, 4),
+        "snapshot_prefix_pdus": round(snapshot_pdus),
+        "snapshot_pdus_per_second": round(pdus_per_second),
+        "churn_cycles": INTERNET_CHURN_CYCLES,
+        "churn_prefix_pdus": [round(c) for c in churn_pdus],
+        "churn_seconds": round(churn_seconds, 4),
+    })
+
+
 def test_write_artifact():
     result = _run_fleet()
+    assert _INTERNET_RESULTS
     rate = (result["total_sessions"] * result["cycles"]
             / max(result["serve_seconds"], 1e-9))
     write_artifact("BENCH_rtr.json", json.dumps({
         "experiment": "rtr",
+        "pins": {
+            "total_sessions": {
+                "measured": result["total_sessions"],
+                "bound": 1000, "op": ">=",
+            },
+            "session_syncs_per_second": {
+                "measured": round(rate),
+                "bound": 2000, "op": ">=",
+            },
+            "divergent_cycles": {
+                "measured": result["divergent_cycles"],
+                "bound": 0, "op": "==",
+            },
+            "internet_churn_prefix_pdus_per_cycle": {
+                "measured": max(_INTERNET_RESULTS["churn_prefix_pdus"]),
+                "bound": 2 * INTERNET_SESSIONS, "op": "<=",
+            },
+        },
+        "internet": _INTERNET_RESULTS,
         "topology": {
             "tiers": TIERS,
             "fanout": FANOUT,

@@ -79,6 +79,7 @@ from .core import (
 from .crypto import KeyFactory, generate_keypair
 from .jurisdiction import cross_border_audit, render_table4
 from .modelgen import (
+    INTERNET_SCALES,
     DeploymentConfig,
     Figure2World,
     build_deployment,
@@ -158,7 +159,7 @@ from .telemetry import (
     trace,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 # Sorted, complete, and drift-checked (tools/check_facade.py).
 __all__ = [
@@ -171,7 +172,8 @@ __all__ = [
     "DetectionExperiment", "DuplexPipe", "ENGINE_MODES", "FaultInjector",
     "FaultKind", "FaultPlan", "FetchResult", "FetchStatus", "Fetcher",
     "Figure2World", "Gauge", "HOUR", "Histogram", "HistoryEntry",
-    "IncrementalState", "KeyFactory", "LocalCache", "MetricsRegistry",
+    "INTERNET_SCALES", "IncrementalState", "KeyFactory", "LocalCache",
+    "MetricsRegistry",
     "OriginValidationOutcome", "PERSISTENT", "ParallelEngine", "PathValidator",
     "PlannedFault", "Prefix", "PrefixTrie", "QueryService", "QueryStatus",
     "RateLimitConfig", "RefreshReport", "RelyingParty", "RepositoryRegistry",

@@ -86,19 +86,31 @@ class Announcement:
 
 
 class Rib:
-    """One AS's selected routes, indexed by prefix for LPM lookup."""
+    """One AS's selected routes, indexed by prefix for LPM lookup.
+
+    The flat views (:meth:`routes`, :meth:`prefixes`) are cached per
+    mutation epoch — propagation over large topologies re-reads them
+    far more often than it installs, so re-materializing a list per
+    call was a measurable hot path at Internet scale.
+    """
 
     def __init__(self) -> None:
         self._routes: PrefixMap[Announcement] = PrefixMap()
+        self._routes_view: tuple[Announcement, ...] | None = None
+        self._prefixes_view: tuple[Prefix, ...] | None = None
 
     def install(self, announcement: Announcement) -> None:
         self._routes.insert(announcement.prefix, announcement)
+        self._routes_view = None
+        self._prefixes_view = None
 
     def withdraw(self, prefix: Prefix) -> None:
         try:
             self._routes.remove(prefix)
         except KeyError:
-            pass
+            return
+        self._routes_view = None
+        self._prefixes_view = None
 
     def route_for(self, prefix: Prefix) -> Announcement | None:
         """The route for exactly this prefix, if any."""
@@ -114,11 +126,19 @@ class Rib:
         hit = self._routes.longest_match(prefix)
         return hit[1] if hit else None
 
-    def routes(self) -> list[Announcement]:
-        return [route for _, route in self._routes.items()]
+    def routes(self) -> tuple[Announcement, ...]:
+        """Every selected route, in trie order (cached until mutation)."""
+        if self._routes_view is None:
+            self._routes_view = tuple(
+                route for _, route in self._routes.items()
+            )
+        return self._routes_view
 
-    def prefixes(self) -> list[Prefix]:
-        return list(self._routes.keys())
+    def prefixes(self) -> tuple[Prefix, ...]:
+        """Every routed prefix, in trie order (cached until mutation)."""
+        if self._prefixes_view is None:
+            self._prefixes_view = tuple(self._routes.keys())
+        return self._prefixes_view
 
     def __len__(self) -> int:
         return len(self._routes)

@@ -18,6 +18,7 @@
     python -m repro chaos           # Byzantine fault campaign + shrink demo
     python -m repro api             # the origin-validation query plane
     python -m repro rtr             # router-fleet fan-out over chained caches
+    python -m repro profile         # cProfile a refresh, rank the hotspots
     python -m repro all             # everything, in order
 
 Every command is deterministic (fixed seeds) and prints a self-contained
@@ -25,10 +26,14 @@ text artifact; the same computations back the pytest benchmarks.  Every
 command accepts the same option trio: ``--emit-metrics`` / ``--json``
 appends the rendered telemetry registry (see docs/telemetry.md for the
 metric inventory), ``--seed N`` reseeds whatever randomness the command
-consumes, and ``--scale small|medium|large`` sizes its generated
-deployment.  Commands pinned to the paper's hand-built fixtures (fig2,
-fig5, tab4, ...) accept the trio for uniformity but regenerate the
-published artifact regardless of seed or scale.
+consumes, and ``--scale`` sizes its generated deployment — the
+hierarchical shapes (``small`` / ``medium`` / ``large``) or the flat
+Internet-scale family (``internet-small`` / ``internet`` /
+``internet-large``, 10⁴–10⁵ ROAs; see
+:data:`repro.modelgen.INTERNET_SCALES`).  Commands pinned to the paper's
+hand-built fixtures (fig2, fig5, tab4, ...) accept the trio for
+uniformity but regenerate the published artifact regardless of seed or
+scale.
 """
 
 from __future__ import annotations
@@ -362,13 +367,30 @@ _REFRESH_SCALES = {
     "large": dict(isps_per_rir=8, customers_per_isp=2, suballocation_depth=3),
 }
 
+# The flat Internet-scale family lives in repro.modelgen.INTERNET_SCALES;
+# its names are repeated here (they are part of the CLI surface) so the
+# parser can offer them without importing modelgen at startup.
+_INTERNET_SCALE_NAMES = ("internet-small", "internet", "internet-large")
+
+
+def _deployment_config(args, default_scale: str, default_seed: int):
+    """Resolve ``--scale``/``--seed`` to a DeploymentConfig, either family.
+
+    Hierarchical names index :data:`_REFRESH_SCALES`; Internet-scale
+    names resolve through :func:`repro.profiling.resolve_scale` to the
+    flat generator's configs.  Returns ``(scale_name, config)``.
+    """
+    from .profiling import resolve_scale
+
+    scale = _scale(args, default_scale)
+    return scale, resolve_scale(scale, _seed(args, default_seed))
+
 
 def cmd_refresh(args) -> None:
-    from .modelgen import DeploymentConfig, build_deployment
+    from .modelgen import build_deployment
     from .simtime import HOUR
 
-    scale = _scale(args, "medium")
-    config = DeploymentConfig(seed=_seed(args, 21), **_REFRESH_SCALES[scale])
+    scale, config = _deployment_config(args, "medium", 21)
     world = build_deployment(config, workers=args.workers)
     rp = _build_rp(world, workers=args.workers)
     registry = rp.metrics
@@ -404,11 +426,15 @@ def cmd_perf(args) -> None:
     from .modelgen import DeploymentConfig, build_deployment
     from .simtime import HOUR
 
-    # --scale swaps in the shared deployment shapes; the default keeps
-    # the historical perf deployment (6 ISPs/RIR, 2 customers each).
-    shape = (_REFRESH_SCALES[args.scale] if getattr(args, "scale", None)
-             else dict(isps_per_rir=6, customers_per_isp=2))
-    config = DeploymentConfig(seed=_seed(args, 21), **shape)
+    # --scale swaps in the shared deployment shapes (either family); the
+    # default keeps the historical perf deployment (6 ISPs/RIR, 2
+    # customers each).
+    if getattr(args, "scale", None):
+        _scale_name, config = _deployment_config(args, args.scale, 21)
+    else:
+        config = DeploymentConfig(
+            seed=_seed(args, 21), isps_per_rir=6, customers_per_isp=2,
+        )
     world = build_deployment(config)
     rp = _build_rp(world, mode="incremental")
     registry = rp.metrics
@@ -554,11 +580,10 @@ def cmd_chaos(args) -> None:
 
 def cmd_api(args) -> None:
     from .api import ApiConfig, QueryService, RateLimitConfig
-    from .modelgen import DeploymentConfig, build_deployment
+    from .modelgen import build_deployment
     from .simtime import HOUR
 
-    scale = _scale(args, "small")
-    config = DeploymentConfig(seed=_seed(args, 7), **_REFRESH_SCALES[scale])
+    scale, config = _deployment_config(args, "small", 7)
     world = build_deployment(config)
     rp = _build_rp(world, mode="incremental")
     # The unthrottled service for the classification and diff sections;
@@ -624,14 +649,13 @@ def cmd_api(args) -> None:
 
 
 def cmd_rtr(args) -> None:
-    from .modelgen import DeploymentConfig, build_deployment
+    from .modelgen import build_deployment
     from .rtr import (
         CacheChain, DuplexPipe, RouterState, RtrCacheServer, RtrRouterClient,
     )
     from .simtime import HOUR
 
-    scale = _scale(args, "small")
-    config = DeploymentConfig(seed=_seed(args, 7), **_REFRESH_SCALES[scale])
+    scale, config = _deployment_config(args, "small", 7)
     world = build_deployment(config)
     rp = _build_rp(world, mode="incremental")
     world.clock.advance(HOUR)
@@ -733,6 +757,21 @@ def cmd_rtr(args) -> None:
           f"{laggard.state.value} at serial {laggard.serial}")
 
 
+def cmd_profile(args) -> None:
+    from .profiling import profile_refresh
+
+    report = profile_refresh(
+        _scale(args, "small"),
+        seed=_seed(args, 21),
+        top=args.top,
+        workers=args.workers,
+    )
+    print(report.render())
+    print("\n=> counts are pinned in benchmarks/test_bench_scale.py; this "
+          "table is the\n   investigation view (tools/profile_refresh.py "
+          "writes it as JSON).")
+
+
 def cmd_sideeffects(_args) -> None:
     from .core import demonstrate_all
 
@@ -770,6 +809,7 @@ _COMMANDS: dict[str, Callable] = {
     "chaos": cmd_chaos,
     "api": cmd_api,
     "rtr": cmd_rtr,
+    "profile": cmd_profile,
     "all": cmd_all,
 }
 
@@ -798,9 +838,13 @@ def build_parser() -> argparse.ArgumentParser:
              "fixtures regenerate the published artifact regardless",
     )
     common.add_argument(
-        "--scale", choices=sorted(_REFRESH_SCALES), default=None,
+        "--scale",
+        choices=sorted(_REFRESH_SCALES) + list(_INTERNET_SCALE_NAMES),
+        default=None,
         help="deployment size for commands that generate one (refresh, "
-             "perf, api); ignored by the paper-pinned fixtures",
+             "perf, api, rtr, profile): a hierarchical shape or a flat "
+             "Internet-scale family member (internet-small = 10^4 ROAs); "
+             "ignored by the paper-pinned fixtures",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name in _COMMANDS:
@@ -825,11 +869,16 @@ def build_parser() -> argparse.ArgumentParser:
                 help="refresh epochs to run (stalled-authority or "
                      "cold-vs-warm sweep)",
             )
-        if name in ("refresh", "perf", "all"):
+        if name in ("refresh", "perf", "profile", "all"):
             sub.add_argument(
                 "--workers", type=int, default=0,
                 help="worker processes for the parallel validation engine "
                      "(0 = serial, the default)",
+            )
+        if name in ("profile", "all"):
+            sub.add_argument(
+                "--top", type=int, default=15,
+                help="hotspot rows to print (ranked by self time)",
             )
         if name in ("chaos", "all"):
             sub.add_argument(
@@ -887,6 +936,8 @@ def main(argv: list[str] | None = None) -> int:
         args.fanout = 2
     if not hasattr(args, "routers"):
         args.routers = 3
+    if not hasattr(args, "top"):
+        args.top = 15
     try:
         _COMMANDS[args.command](args)
         if args.json:

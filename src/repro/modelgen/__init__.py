@@ -1,6 +1,7 @@
 """Model RPKI generation: exact paper fixtures and synthetic deployments."""
 
 from .deployment import (
+    INTERNET_SCALES,
     DeploymentConfig,
     DeploymentWorld,
     build_deployment,
@@ -13,6 +14,7 @@ __all__ = [
     "DeploymentConfig",
     "DeploymentWorld",
     "Figure2World",
+    "INTERNET_SCALES",
     "build_deep_hierarchy",
     "build_deployment",
     "build_figure2",

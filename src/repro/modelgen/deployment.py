@@ -11,8 +11,13 @@ generates such models at any scale, deterministically from a seed:
 - country tags for every AS, drawn from the RIR's service region with a
   configurable cross-border rate (the Section 3.2 phenomenon).
 
-:func:`build_deployment` scales from tens to thousands of ROAs — the
-scale benchmark sweeps it; :func:`build_table4_world` instead seeds the
+:func:`build_deployment` scales from tens to thousands of ROAs in its
+hierarchical shape; the ``flat`` generator family (``config.flat``, the
+:data:`INTERNET_SCALES` presets) reaches 10⁴–10⁵ ROAs by minting many
+sibling publication points in O(n) — allocations computed arithmetically
+(no generator scans), one deferred publication sync per authority, and
+one shared EE keypair per authority instead of one per ROA.  The scale
+benchmark sweeps both; :func:`build_table4_world` instead seeds the
 model with the paper's nine published Table 4 rows so the audit
 reproduces them exactly.
 """
@@ -28,10 +33,11 @@ from ..jurisdiction.table4 import TABLE4_ROWS
 from ..repository import HostLocator, RepositoryRegistry
 from ..resources import ASN, Prefix, ResourceSet
 from ..rpki import CertificateAuthority
+from ..rpki.roa import RoaPrefix
 from ..simtime import Clock
 
-__all__ = ["DeploymentConfig", "DeploymentWorld", "build_deployment",
-           "build_table4_world", "expected_keypairs"]
+__all__ = ["DeploymentConfig", "DeploymentWorld", "INTERNET_SCALES",
+           "build_deployment", "build_table4_world", "expected_keypairs"]
 
 # Representative /8 blocks per RIR (a subset of the real IANA allocations).
 _RIR_BLOCKS: dict[RIR, tuple[str, ...]] = {
@@ -55,6 +61,17 @@ class DeploymentConfig:
     default 0 leaves generated worlds byte-identical to earlier
     revisions (the chain consumes no extra jurisdiction-RNG draws, so
     country tags are unchanged for any depth).
+
+    ``flat`` switches to the Internet-scale generator: per RIR,
+    ``isps_per_rir`` sibling ISP authorities each publishing
+    ``roas_per_isp`` ROAs at its own publication point, no customer
+    tiers (``customers_per_isp``/``roas_per_customer``/
+    ``suballocation_depth`` are ignored).  Allocations are computed
+    arithmetically and every authority publishes once, so construction
+    is O(total ROAs).  ``shared_ee_keys`` (flat only) signs all of an
+    authority's ROAs with one EE keypair, cutting keygen from O(ROAs)
+    to O(authorities) — validation semantics are unchanged because each
+    ROA still carries its own EE certificate.
     """
 
     seed: int = 0
@@ -66,6 +83,23 @@ class DeploymentConfig:
     suballocation_depth: int = 0
     cross_border_rate: float = 0.15
     key_bits: int = 512
+    flat: bool = False
+    shared_ee_keys: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shared_ee_keys and not self.flat:
+            raise ValueError(
+                "shared_ee_keys requires the flat generator (flat=True)"
+            )
+        if self.flat:
+            if self.roas_per_isp > 256:
+                raise ValueError(
+                    "flat generator fits at most 256 /24 ROAs per ISP /16"
+                )
+            if self.isps_per_rir > 254:
+                raise ValueError(
+                    "flat generator fits at most 254 ISP /16s per RIR"
+                )
 
 
 @dataclass
@@ -102,9 +136,13 @@ def expected_keypairs(config: DeploymentConfig) -> int:
     """How many keypairs :func:`build_deployment` will consume for *config*.
 
     One per trust anchor, one per CA certificate, one per ROA's embedded
-    EE certificate — counted ahead of time so a worker pool can generate
-    the whole sequence before the build starts pulling keys.
+    EE certificate (or one shared EE keypair per authority when
+    ``shared_ee_keys`` is set) — counted ahead of time so a worker pool
+    can generate the whole sequence before the build starts pulling keys.
     """
+    if config.flat:
+        per_isp = 1 + (1 if config.shared_ee_keys else config.roas_per_isp)
+        return len(config.rirs) * (1 + config.isps_per_rir * per_isp)
     per_customer = 1 + config.roas_per_customer + config.suballocation_depth * (
         1 + config.roas_per_customer
     )
@@ -112,6 +150,29 @@ def expected_keypairs(config: DeploymentConfig) -> int:
         1 + config.roas_per_isp + config.customers_per_isp * per_customer
     )
     return len(config.rirs) * (1 + config.isps_per_rir * per_isp)
+
+
+# The Internet-scale family: flat worlds from 10⁴ to 10⁵ ROAs.  The real
+# RPKI carries hundreds of thousands of VRPs; these presets let the
+# benchmarks and the query/RTR planes measure at honest magnitudes.
+# ROA totals: rirs × isps_per_rir × roas_per_isp.
+INTERNET_SCALES: dict[str, DeploymentConfig] = {
+    # 5 × 40 × 50 = 10,000 ROAs across 205 authorities.
+    "internet-small": DeploymentConfig(
+        isps_per_rir=40, customers_per_isp=0, roas_per_isp=50,
+        roas_per_customer=0, flat=True, shared_ee_keys=True,
+    ),
+    # 5 × 100 × 60 = 30,000 ROAs across 505 authorities.
+    "internet": DeploymentConfig(
+        isps_per_rir=100, customers_per_isp=0, roas_per_isp=60,
+        roas_per_customer=0, flat=True, shared_ee_keys=True,
+    ),
+    # 5 × 200 × 100 = 100,000 ROAs across 1005 authorities.
+    "internet-large": DeploymentConfig(
+        isps_per_rir=200, customers_per_isp=0, roas_per_isp=100,
+        roas_per_customer=0, flat=True, shared_ee_keys=True,
+    ),
+}
 
 
 def build_deployment(
@@ -136,6 +197,9 @@ def build_deployment(
     world = DeploymentWorld(
         clock=clock, key_factory=key_factory, registry=registry
     )
+    if config.flat:
+        _build_flat(config, world, rng)
+        return world
 
     next_isp_asn = 3000
     next_customer_asn = 50000
@@ -166,8 +230,7 @@ def build_deployment(
             next_isp_asn += 1
             # Allocation: the isp_index-th /16 of a block chosen round-robin.
             block = Prefix.parse(blocks[isp_index % len(blocks)])
-            sixteens = block.subprefixes(16)
-            allocation = _nth(sixteens, 1 + isp_index)
+            allocation = _subprefix_at(block, 16, 1 + isp_index)
             handle = f"{rir.name.lower()}-isp-{isp_index}"
             host = f"{handle}.example"
             server = registry.create_server(
@@ -235,6 +298,79 @@ def build_deployment(
                             customer_asn, str(sub_prefixes[prefix_index])
                         )
     return world
+
+
+def _build_flat(
+    config: DeploymentConfig, world: DeploymentWorld, rng: random.Random
+) -> None:
+    """The Internet-scale generator: many sibling points, O(n) total work.
+
+    Per RIR trust anchor, ``isps_per_rir`` flat ISP authorities each
+    holding an arithmetically-computed /16 and publishing
+    ``roas_per_isp`` consecutive /24 ROAs.  Three O(n) guarantees:
+
+    - allocations come from :func:`_subprefix_at` (pure arithmetic, no
+      generator scans over the block's subprefixes);
+    - every authority syncs its publication point exactly once
+      (``deferred_publication``), so issuance is not O(k²) per point;
+    - with ``shared_ee_keys`` each authority draws one EE keypair for
+      all its ROAs, so keygen is O(authorities), not O(ROAs).
+    """
+    registry = world.registry
+    clock = world.clock
+    key_factory = world.key_factory
+    next_isp_asn = 3000
+    all_countries = sorted({c for r in RIR for c in region_of(r)})
+
+    for rir in config.rirs:
+        blocks = _RIR_BLOCKS[rir]
+        rir_host = f"{rir.name.lower()}.registry.example"
+        rir_server = registry.create_server(
+            rir_host,
+            _locator_inside(Prefix.parse(blocks[0]), asn=next_isp_asn, offset=10),
+        )
+        root = CertificateAuthority.create_trust_anchor(
+            handle=rir.name,
+            ip_resources=ResourceSet.parse(*blocks),
+            clock=clock,
+            key_factory=key_factory,
+            sia=f"rsync://{rir_host}/repo/",
+            publication_point=rir_server.mount(f"rsync://{rir_host}/repo/"),
+        )
+        world.roots.append((root, rir))
+        region = sorted(region_of(rir))
+
+        with root.deferred_publication():
+            for isp_index in range(config.isps_per_rir):
+                isp_asn = ASN(next_isp_asn)
+                next_isp_asn += 1
+                block = Prefix.parse(blocks[isp_index % len(blocks)])
+                allocation = _subprefix_at(block, 16, 1 + isp_index)
+                handle = f"{rir.name.lower()}-isp-{isp_index}"
+                host = f"{handle}.example"
+                server = registry.create_server(
+                    host,
+                    _locator_inside(allocation, asn=int(isp_asn), offset=10),
+                )
+                isp = root.issue_child_authority(
+                    handle,
+                    ResourceSet.parse(str(allocation)),
+                    sia=f"rsync://{host}/repo/",
+                    publication_point=server.mount(f"rsync://{host}/repo/"),
+                )
+                world.as_country[isp_asn] = _pick_country(
+                    rng, region, all_countries, config.cross_border_rate
+                )
+                ee_key = (
+                    key_factory.next_keypair()
+                    if config.shared_ee_keys else None
+                )
+                with isp.deferred_publication():
+                    for roa_index in range(config.roas_per_isp):
+                        prefix = _subprefix_at(allocation, 24, roa_index)
+                        isp.issue_roa(
+                            isp_asn, [RoaPrefix(prefix)], ee_key=ee_key
+                        )
 
 
 def build_table4_world(*, seed: int = 4) -> DeploymentWorld:
@@ -316,6 +452,21 @@ def _nth(iterator, n: int):
         if index == n:
             return item
     raise IndexError(n)
+
+
+def _subprefix_at(prefix: Prefix, length: int, index: int) -> Prefix:
+    """The *index*-th /*length* subprefix of *prefix*, in O(1).
+
+    Equivalent to ``_nth(prefix.subprefixes(length), index)`` on a fresh
+    generator, without scanning the preceding *index* prefixes — the
+    difference between O(n) and O(n²) world construction when the flat
+    generator allocates hundreds of sibling /16s per block.
+    """
+    step = 1 << (prefix.afi.bits - length)
+    network = prefix.network + index * step
+    if network > prefix.broadcast:
+        raise IndexError(index)
+    return Prefix(prefix.afi, network, length)
 
 
 def _pick_country(

@@ -95,6 +95,9 @@ class ParallelEngine:
         self._owns_memos = state is None
         self._state = _OwnedMemos() if state is None else state
         self._pool: WorkerPool | None = None
+        # Minimum pending verify jobs before a dispatch; flushes happen on
+        # publication-point boundaries so chunks always hold whole points.
+        self.chunk_jobs = 2048
         # Point replay cache: CA key id -> (PointResult, now it was stored).
         self._points: dict[str, tuple] = {}
         self.points_reused = 0
@@ -141,7 +144,15 @@ class ParallelEngine:
         might get verified".  Over-approximation is safe (a verdict is
         pure; an unused one is merely wasted) and under-approximation is
         harmless (the validator falls back to an in-process check on a
-        memo miss).  Returns the number of jobs dispatched.
+        memo miss).
+
+        Work is dispatched in **chunks aligned to publication-point
+        boundaries** (at least :attr:`chunk_jobs` jobs per dispatch): at
+        Internet scale a single all-points job list would hold hundreds
+        of thousands of serialized (object, key) pairs at once, so the
+        pending list is flushed to the pool point-by-point and peak job
+        memory stays bounded regardless of snapshot size.  Returns the
+        number of jobs dispatched.
         """
         if self._pool is None:
             raise RuntimeError("precompute() outside begin_refresh()")
@@ -150,6 +161,7 @@ class ParallelEngine:
         pending: list[tuple[SignedObject, RsaPublicKey]] = []
         queued: set = set()
         deduped = 0
+        dispatched = 0
 
         def want(obj: SignedObject, key: RsaPublicKey) -> None:
             nonlocal deduped
@@ -160,6 +172,22 @@ class ParallelEngine:
             queued.add(memo_key)
             jobs.append(verify_job_for(obj, key))
             pending.append((obj, key))
+
+        def flush() -> None:
+            nonlocal dispatched
+            if not jobs:
+                return
+            verdicts = self._pool.map_batches(verify_batch, jobs)
+            accepted = sum(1 for verdict in verdicts if verdict)
+            for (obj, key), verdict in zip(pending, verdicts):
+                verify_memo.record(obj, key, verdict)
+            # Workers ran uninstrumented; credit their work here, in the
+            # parent, so repro_crypto_verify_total keeps its meaning.
+            record_verifications(accepted, len(verdicts) - accepted)
+            self._m_jobs.inc(len(jobs), kind="verify")
+            dispatched += len(jobs)
+            jobs.clear()
+            pending.clear()
 
         seen: set[str] = set()
         stack: list[ResourceCertificate] = []
@@ -192,19 +220,15 @@ class ParallelEngine:
                         if ee.issuer_key_id == ca_cert.subject_key_id:
                             want(ee, ca_key)
                             want(obj, ee.subject_key)
+            # One publication point fully collected: flush once enough
+            # work has accumulated.  Chunks therefore hold whole points.
+            if len(jobs) >= self.chunk_jobs:
+                flush()
 
-        if jobs:
-            verdicts = self._pool.map_batches(verify_batch, jobs)
-            accepted = sum(1 for verdict in verdicts if verdict)
-            for (obj, key), verdict in zip(pending, verdicts):
-                verify_memo.record(obj, key, verdict)
-            # Workers ran uninstrumented; credit their work here, in the
-            # parent, so repro_crypto_verify_total keeps its meaning.
-            record_verifications(accepted, len(verdicts) - accepted)
-            self._m_jobs.inc(len(jobs), kind="verify")
+        flush()
         if deduped:
             self._m_deduped.inc(deduped)
-        return len(jobs)
+        return dispatched
 
     # -- the reuse-provider protocol (PathValidator duck-types this) ---------
 

@@ -1,0 +1,219 @@
+"""cProfile instrumentation for relying-party refresh at any scale.
+
+The Internet-scale deployments (:data:`repro.modelgen.INTERNET_SCALES`)
+exist to answer a performance question: where does a full refresh spend
+its time once the repository holds 10⁴–10⁵ ROAs?  This module is the
+measuring instrument — it builds a deployment, runs one complete
+fetch-and-validate refresh under :mod:`cProfile`, and distills the
+profile into a ranked top-N hotspot table small enough to read, diff,
+and archive next to the benchmark artifacts.
+
+Two front ends share it:
+
+- ``python -m repro profile [--scale internet-small]`` — the CLI
+  walkthrough; prints the hotspot table as a text artifact.
+- ``tools/profile_refresh.py`` — the harness; same measurement, plus a
+  JSON artifact (``--output``) for archival under
+  ``benchmarks/artifacts/``.
+
+Hotspots are ranked by *self* time (``tottime``): cumulative time blames
+every caller on the stack for the same samples, while self time points
+at the frame actually burning CPU — the thing to fix.  Each row keeps
+its cumulative time too, so callers-of-hot-callees remain visible.
+
+Determinism note: the ranked *functions* are stable for a given scale
+and seed, but the measured seconds are wall-clock and vary run to run —
+profile output is an investigation artifact, not a regression gate.
+Regression gates live in ``benchmarks/test_bench_scale.py``, pinned in
+counts (RSA verifications, bytes) rather than seconds.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Hotspot", "ProfileReport", "profile_refresh", "resolve_scale"]
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One ranked row of the profile: a function and its costs."""
+
+    location: str    # "path/to/module.py:123(function)"
+    ncalls: int      # primitive call count
+    tottime: float   # self seconds (excludes callees)
+    cumtime: float   # cumulative seconds (includes callees)
+
+    def to_json(self) -> dict:
+        return {
+            "location": self.location,
+            "ncalls": self.ncalls,
+            "tottime": round(self.tottime, 6),
+            "cumtime": round(self.cumtime, 6),
+        }
+
+
+@dataclass
+class ProfileReport:
+    """The distilled result of one profiled refresh."""
+
+    scale: str
+    seed: int
+    mode: str                 # "serial" / "incremental" / "parallel(N)"
+    lean: bool
+    roa_count: int
+    authority_count: int
+    vrp_count: int
+    rounds: int
+    build_seconds: float
+    refresh_seconds: float
+    hotspots: list[Hotspot] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The text artifact: a header block and the ranked table."""
+        lines = [
+            f"Profiled refresh over the {self.scale!r} deployment "
+            f"(seed {self.seed}, {self.mode} mode"
+            f"{', lean' if self.lean else ''})",
+            "",
+            f"deployment: {self.roa_count} ROAs across "
+            f"{self.authority_count} authorities "
+            f"(built in {self.build_seconds:.2f}s, unprofiled)",
+            f"refresh: {self.refresh_seconds:.2f}s, {self.rounds} discovery "
+            f"round(s), {self.vrp_count} VRPs",
+            "",
+            f"top {len(self.hotspots)} functions by self time:",
+            f"{'self(s)':>9}  {'cum(s)':>9}  {'calls':>9}  location",
+        ]
+        for spot in self.hotspots:
+            lines.append(
+                f"{spot.tottime:>9.3f}  {spot.cumtime:>9.3f}  "
+                f"{spot.ncalls:>9}  {spot.location}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "mode": self.mode,
+            "lean": self.lean,
+            "roa_count": self.roa_count,
+            "authority_count": self.authority_count,
+            "vrp_count": self.vrp_count,
+            "rounds": self.rounds,
+            "build_seconds": round(self.build_seconds, 3),
+            "refresh_seconds": round(self.refresh_seconds, 3),
+            "hotspots": [spot.to_json() for spot in self.hotspots],
+        }
+
+
+def resolve_scale(scale: str, seed: int | None = None):
+    """A :class:`~repro.modelgen.DeploymentConfig` for a scale name.
+
+    Accepts both families: the Internet-scale flat deployments
+    (``internet-small`` / ``internet`` / ``internet-large``, from
+    :data:`~repro.modelgen.INTERNET_SCALES`) and the CLI's hierarchical
+    shapes (``small`` / ``medium`` / ``large``).  *seed* overrides the
+    config's seed when given.
+    """
+    from .cli import _REFRESH_SCALES
+    from .modelgen import INTERNET_SCALES, DeploymentConfig
+
+    if scale in INTERNET_SCALES:
+        config = INTERNET_SCALES[scale]
+        return config if seed is None else replace(config, seed=seed)
+    if scale in _REFRESH_SCALES:
+        kwargs = dict(_REFRESH_SCALES[scale])
+        if seed is not None:
+            kwargs["seed"] = seed
+        return DeploymentConfig(**kwargs)
+    known = sorted(INTERNET_SCALES) + sorted(_REFRESH_SCALES)
+    raise KeyError(f"unknown scale {scale!r} (expected one of {known})")
+
+
+def _shorten(filename: str) -> str:
+    """Trim an absolute path to its repo-relative tail for readability."""
+    for marker in ("/src/repro/", "/repro/"):
+        index = filename.rfind(marker)
+        if index >= 0:
+            return "repro/" + filename[index + len(marker):]
+    return filename.rsplit("/", 1)[-1]
+
+
+def top_hotspots(stats: pstats.Stats, top: int) -> list[Hotspot]:
+    """The *top* rows of a :class:`pstats.Stats`, ranked by self time."""
+    rows = []
+    for (filename, lineno, name), entry in stats.stats.items():
+        _cc, ncalls, tottime, cumtime, _callers = entry
+        if filename == "~":  # builtins: "~:0(<built-in method ...>)"
+            location = name
+        else:
+            location = f"{_shorten(filename)}:{lineno}({name})"
+        rows.append(Hotspot(location, ncalls, tottime, cumtime))
+    rows.sort(key=lambda spot: (-spot.tottime, spot.location))
+    return rows[:top]
+
+
+def profile_refresh(
+    scale: str = "internet-small",
+    *,
+    seed: int | None = None,
+    top: int = 15,
+    mode: str | None = None,
+    workers: int = 0,
+    lean: bool = True,
+) -> ProfileReport:
+    """Build a deployment, profile one full refresh, rank the hotspots.
+
+    The build is timed but **not** profiled — keygen would otherwise
+    drown the refresh in the table, and the build already has its own
+    amortization path (:func:`~repro.parallel.prefill_keys`).  The
+    refresh — fetch, parse, verify, classify, every discovery round —
+    runs under :mod:`cProfile`.
+
+    *lean* defaults to True (the streaming relying party) because that
+    is the configuration the Internet scales are meant to run in; pass
+    ``lean=False`` to profile object retention too.  *mode*/*workers*
+    select the engine exactly like :class:`~repro.rp.RelyingParty`.
+    """
+    from .repository import Fetcher
+    from .rp import RelyingParty
+
+    config = resolve_scale(scale, seed)
+    build_start = time.perf_counter()
+    from .modelgen import build_deployment
+
+    world = build_deployment(config, workers=workers)
+    build_seconds = time.perf_counter() - build_start
+
+    fetcher = Fetcher(world.registry, world.clock)
+    rp = RelyingParty(
+        world.trust_anchors, fetcher, metrics=fetcher.metrics,
+        mode=mode, workers=workers, lean=lean,
+    )
+    profiler = cProfile.Profile()
+    refresh_start = time.perf_counter()
+    profiler.enable()
+    report = rp.refresh()
+    profiler.disable()
+    refresh_seconds = time.perf_counter() - refresh_start
+
+    stats = pstats.Stats(profiler)
+    mode_label = rp.mode if not workers else f"parallel({workers})"
+    return ProfileReport(
+        scale=scale,
+        seed=config.seed,
+        mode=mode_label,
+        lean=lean,
+        roa_count=world.roa_count(),
+        authority_count=len(world.authorities()),
+        vrp_count=len(report.vrps),
+        rounds=report.rounds,
+        build_seconds=build_seconds,
+        refresh_seconds=refresh_seconds,
+        hotspots=top_hotspots(stats, top),
+    )

@@ -30,7 +30,7 @@ class Prefix:
     True
     """
 
-    __slots__ = ("_afi", "_network", "_length")
+    __slots__ = ("_afi", "_network", "_length", "_hash")
 
     def __init__(self, afi: Afi, network: int, length: int):
         if not 0 <= length <= afi.bits:
@@ -44,6 +44,7 @@ class Prefix:
         self._afi = afi
         self._network = network
         self._length = length
+        self._hash = -1
 
     # -- constructors ----------------------------------------------------
 
@@ -190,7 +191,12 @@ class Prefix:
         )
 
     def __hash__(self) -> int:
-        return hash((self._afi, self._network, self._length))
+        # Cached: prefixes are dict keys on every trie/VRP hot path, and
+        # hashing a 3-tuple per probe dominates bulk-set construction.
+        if self._hash == -1:
+            value = hash((self._afi, self._network, self._length))
+            self._hash = value if value != -1 else -2
+        return self._hash
 
     def __str__(self) -> str:
         return f"{format_address(self._afi, self._network)}/{self._length}"

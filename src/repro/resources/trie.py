@@ -84,6 +84,30 @@ class PrefixTrie(Generic[V]):
         node.value = value
         node.has_value = True
 
+    def get_or_insert(self, prefix: Prefix, factory) -> V:
+        """The value at *prefix*, inserting ``factory()`` if absent.
+
+        One trie walk where ``get`` + ``insert`` would take two — the
+        bulk-build fast path for bucket-of-list indexes (``VrpSet``
+        construction walks this once per VRP).
+        """
+        self._check(prefix)
+        node = self._root
+        network = prefix.network
+        shift = self._afi.bits - 1
+        for position in range(prefix.length):
+            bit = (network >> (shift - position)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            node.value = factory()
+            node.has_value = True
+            self._size += 1
+        return node.value  # type: ignore[return-value]
+
     def remove(self, prefix: Prefix) -> V:
         """Remove the exact mapping for *prefix*, returning its value.
 
@@ -234,6 +258,9 @@ class PrefixMap(Generic[V]):
 
     def insert(self, prefix: Prefix, value: V) -> None:
         self._trie(prefix).insert(prefix, value)
+
+    def get_or_insert(self, prefix: Prefix, factory) -> V:
+        return self._trie(prefix).get_or_insert(prefix, factory)
 
     def remove(self, prefix: Prefix) -> V:
         return self._trie(prefix).remove(prefix)

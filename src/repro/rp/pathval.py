@@ -93,6 +93,10 @@ class ValidationRun:
     roa_locations: dict[str, str] = field(default_factory=dict)
     # Validated Ghostbusters contact per publication point URI.
     contacts: dict[str, GhostbustersRecord] = field(default_factory=dict)
+    # Count of validated ROAs — equals len(validated_roas) except under
+    # a lean (streaming) validator, which counts without retaining the
+    # parsed Roa objects.
+    roa_count: int = 0
 
     def errors(self) -> list[ValidationIssue]:
         return [i for i in self.issues if i.severity is Severity.ERROR]
@@ -131,6 +135,14 @@ class PathValidator:
         the engine shares the incremental state's memos and this
         validator sees only ``incremental`` (see
         :class:`~repro.rp.RelyingParty`).
+    collect_objects:
+        If False (the *lean* streaming mode), validated ROA objects and
+        their locations are counted but not retained on the
+        :class:`ValidationRun` — only VRPs, CA certificates, issues and
+        contacts survive the pass.  At Internet scale this is the
+        difference between O(point) and O(deployment) peak memory for a
+        serial refresh; layers that need the objects themselves
+        (Suspenders corroboration, the monitor) keep the default True.
 
     Both providers expose the same protocol (``verify_object`` /
     ``parse`` / ``lookup`` / ``store`` / ``count_reused`` /
@@ -147,6 +159,7 @@ class PathValidator:
         metrics: MetricsRegistry | None = None,
         incremental: IncrementalState | None = None,
         parallel=None,
+        collect_objects: bool = True,
     ):
         if not trust_anchors:
             raise ValueError("at least one trust anchor is required")
@@ -157,6 +170,7 @@ class PathValidator:
             )
         self.trust_anchors = list(trust_anchors)
         self.strict_manifests = strict_manifests
+        self.collect_objects = collect_objects
         self.incremental = incremental
         self.parallel = parallel
         self._provider = incremental if incremental is not None else parallel
@@ -218,8 +232,8 @@ class PathValidator:
         self._m_runs.inc()
         if result.validated_cas:
             self._m_objects.inc(len(result.validated_cas), type="ca")
-        if result.validated_roas:
-            self._m_objects.inc(len(result.validated_roas), type="roa")
+        if result.roa_count:
+            self._m_objects.inc(result.roa_count, type="roa")
         if result.contacts:
             self._m_objects.inc(len(result.contacts), type="ghostbusters")
         for severity in Severity:
@@ -292,11 +306,12 @@ class PathValidator:
         result.issues.extend(entry.issues)
         if entry.contact is not None:
             result.contacts[entry.selected_uri] = entry.contact
-        for roa in entry.roas:
-            result.validated_roas.append(roa)
-            result.roa_locations[roa.hash_hex] = entry.selected_uri
-        for vrp in entry.vrps:
-            result.vrps.add(vrp)
+        result.roa_count += len(entry.roas)
+        if self.collect_objects:
+            for roa in entry.roas:
+                result.validated_roas.append(roa)
+                result.roa_locations[roa.hash_hex] = entry.selected_uri
+        result.vrps.extend(entry.vrps)
         for child in entry.children:
             result.validated_cas.append(child)
             self._descend(child, cache_files, digests, now, result, seen_cas,

@@ -165,6 +165,17 @@ class RelyingParty:
         count — that combination is incoherent.  On platforms without a
         usable ``multiprocessing`` start method the pool degrades to
         in-process execution with the same semantics.
+    lean:
+        Streaming refresh: validated ROA objects are counted but not
+        retained on the :class:`~repro.rp.pathval.ValidationRun` (only
+        VRPs, CA certificates, issues and contacts survive), and the
+        validator reads straight out of the cache's zero-copy
+        :meth:`~repro.repository.LocalCache.snapshot`.  With
+        ``mode="serial"`` this bounds refresh peak memory by the largest
+        single publication point instead of the whole deployment — the
+        Internet-scale configuration.  Layers that need the parsed
+        objects (Suspenders corroboration, the monitor's ROA diffing)
+        must keep the default False.
     incremental:
         Deprecated spelling of ``mode="incremental"``; passing it (with
         either value) emits :class:`DeprecationWarning`.  ``True`` maps
@@ -187,6 +198,7 @@ class RelyingParty:
         strict_manifests: bool = False,
         mode: str | None = None,
         workers: int = 0,
+        lean: bool = False,
         incremental: bool | None = None,
         metrics: MetricsRegistry | None = None,
     ):
@@ -220,6 +232,7 @@ class RelyingParty:
                 "workers > 0 requires mode='parallel' or mode='incremental'"
             )
         self.mode = mode
+        self.lean = lean
         self.fetcher = fetcher
         self.fetch_budget = fetch_budget
         self.workers = workers
@@ -245,6 +258,7 @@ class RelyingParty:
                 if self._engine is not None and self.incremental_state is None
                 else None
             ),
+            collect_objects=not lean,
         )
         self._clock = clock if clock is not None else fetcher.clock
         self._last_run: ValidationRun | None = None
@@ -378,9 +392,15 @@ class RelyingParty:
         return degradation
 
     def _validate(self) -> ValidationRun:
-        """One validation pass over the current cache snapshot."""
+        """One validation pass over the current cache snapshot.
+
+        The snapshot is the cache's zero-copy view: the validator (and
+        the parallel engine's pre-pass) read the cached file dicts by
+        reference, so a validation round allocates no per-point copies
+        no matter how large the deployment is.
+        """
         now = self._clock.now
-        files = self.cache.all_files(now)
+        files = self.cache.snapshot(now)
         if self._engine is not None:
             self._engine.precompute(self.validator.trust_anchors, files)
         digests = (

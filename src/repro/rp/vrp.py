@@ -73,25 +73,48 @@ class VrpSet:
     def __init__(self, vrps: Iterable[VRP] = ()):
         self._index: PrefixMap[list[VRP]] = PrefixMap()
         self._all: list[VRP] = []
+        self._members: set[VRP] = set()
         self._sorted: list[VRP] | None = None
         self._frozen: frozenset[VRP] | None = None
         self._content_hash: str | None = None
         self._by_asn: dict[ASN, tuple[VRP, ...]] | None = None
-        for vrp in vrps:
-            self.add(vrp)
+        self.extend(vrps)
 
     def add(self, vrp: VRP) -> None:
-        bucket = self._index.get(vrp.prefix)
-        if bucket is None:
-            bucket = []
-            self._index.insert(vrp.prefix, bucket)
-        if vrp not in bucket:
-            bucket.append(vrp)
-            self._all.append(vrp)
-            self._sorted = None
-            self._frozen = None
-            self._content_hash = None
-            self._by_asn = None
+        if vrp in self._members:
+            return
+        self._insert(vrp)
+        self._invalidate()
+
+    def extend(self, vrps: Iterable[VRP]) -> int:
+        """Bulk-add *vrps* with a single cache invalidation at the end.
+
+        The fast path for construction: membership is one set probe per
+        VRP (no per-bucket scan) and the sorted/frozen/hash/by-ASN views
+        are dropped once for the whole batch instead of once per element.
+        Returns how many VRPs were actually new.
+        """
+        added = 0
+        for vrp in vrps:
+            if vrp in self._members:
+                continue
+            self._insert(vrp)
+            added += 1
+        if added:
+            self._invalidate()
+        return added
+
+    def _insert(self, vrp: VRP) -> None:
+        bucket = self._index.get_or_insert(vrp.prefix, list)
+        bucket.append(vrp)
+        self._all.append(vrp)
+        self._members.add(vrp)
+
+    def _invalidate(self) -> None:
+        self._sorted = None
+        self._frozen = None
+        self._content_hash = None
+        self._by_asn = None
 
     def covering(self, prefix: Prefix) -> Iterator[VRP]:
         """All VRPs whose prefix covers *prefix*, least-specific first."""
@@ -106,7 +129,7 @@ class VrpSet:
     def as_frozenset(self) -> frozenset[VRP]:
         """This set's VRPs as a (cached) frozenset, for set algebra."""
         if self._frozen is None:
-            self._frozen = frozenset(self._all)
+            self._frozen = frozenset(self._members)
         return self._frozen
 
     def content_hash(self) -> str:
@@ -146,8 +169,7 @@ class VrpSet:
         return len(self._all)
 
     def __contains__(self, vrp: VRP) -> bool:
-        bucket = self._index.get(vrp.prefix)
-        return bucket is not None and vrp in bucket
+        return vrp in self._members
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, VrpSet):

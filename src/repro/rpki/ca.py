@@ -21,6 +21,7 @@ inconsistent state (fault injection for Side Effect 6 experiments).
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterator
 
 from ..crypto import KeyFactory, KeyPair, RsaPublicKey
@@ -83,6 +84,10 @@ class CertificateAuthority:
         self._issued_roas: dict[str, Roa] = {}
         self._contact: GhostbustersRecord | None = None
         self._children: dict[str, CertificateAuthority] = {}
+        # Deferred-publication state (see deferred_publication()): while
+        # deferred, publish() only records that a sync is owed.
+        self._publish_deferred = False
+        self._publish_pending = False
         self.publish()
 
     # -- construction -------------------------------------------------------
@@ -315,6 +320,7 @@ class CertificateAuthority:
         *,
         name: str | None = None,
         validity: int = _DEFAULT_ROA_VALIDITY,
+        ee_key: KeyPair | None = None,
     ) -> tuple[str, Roa]:
         """Issue a ROA authorizing *asn* to originate *prefixes*.
 
@@ -324,14 +330,18 @@ class CertificateAuthority:
 
         Returns ``(file_name, roa)``.  The EE certificate is generated
         here (one-time-use, resources exactly the ROA's prefixes) and
-        embedded in the ROA.
+        embedded in the ROA.  Pass *ee_key* to reuse a keypair across
+        many EE certificates — validation only checks issuer linkage and
+        the signature, so bulk world generation shares one EE key per
+        authority instead of generating one per ROA.
         """
         roa_prefixes = _coerce_roa_prefixes(prefixes)
         roa_resources = ResourceSet.from_prefixes(rp.prefix for rp in roa_prefixes)
         self._require_coverage(roa_resources, None)
 
         now = self._clock.now
-        ee_key = self._key_factory.next_keypair()
+        if ee_key is None:
+            ee_key = self._key_factory.next_keypair()
         ee_serial = self._take_serial()
         ee_cert = build_certificate(
             issuer_key=self._key,
@@ -607,13 +617,46 @@ class CertificateAuthority:
 
     # -- publication ---------------------------------------------------------------------
 
+    @contextlib.contextmanager
+    def deferred_publication(self):
+        """Batch many mutations into a single :meth:`publish`.
+
+        Each issuance normally republishes the whole point — CRL,
+        manifest, every file — which makes bulk issuance of *k* objects
+        cost O(k²).  Inside this context the per-mutation syncs collapse
+        into one publish on exit (only if a mutation actually happened),
+        restoring O(k)::
+
+            with isp.deferred_publication():
+                for prefix in prefixes:
+                    isp.issue_roa(asn, prefix)
+
+        Re-entrant: nested uses publish once, at the outermost exit.
+        """
+        if self._publish_deferred:
+            yield self
+            return
+        self._publish_deferred = True
+        try:
+            yield self
+        finally:
+            self._publish_deferred = False
+            if self._publish_pending:
+                self._publish_pending = False
+                self.publish()
+
     def publish(self, *, update_manifest: bool = True) -> None:
         """Synchronize the publication point with current issued objects.
 
         Writes every current child RC and ROA, a fresh CRL, and (unless
         *update_manifest* is false — fault injection) a fresh manifest
         covering exactly those files.  Files no longer issued are removed.
+        Inside :meth:`deferred_publication` the sync is postponed to the
+        context exit.
         """
+        if self._publish_deferred:
+            self._publish_pending = True
+            return
         point = self.publication_point
         now = self._clock.now
 

@@ -284,6 +284,31 @@ class TestRibLookup:
         assert len(rib) == 0
         rib.withdraw(p("10.0.0.0/8"))  # idempotent
 
+    def test_cached_views_stable_until_mutation(self):
+        from repro.bgp import Rib
+
+        rib = Rib()
+        rib.install(Announcement.originate(p("10.0.0.0/8"), 1))
+        rib.install(Announcement.originate(p("10.4.0.0/16"), 1))
+        routes, prefixes = rib.routes(), rib.prefixes()
+        assert prefixes == (p("10.0.0.0/8"), p("10.4.0.0/16"))  # trie order
+        # Read-only calls serve the same tuple objects — no rebuild.
+        assert rib.routes() is routes
+        assert rib.prefixes() is prefixes
+
+    def test_views_invalidated_by_install_and_withdraw(self):
+        from repro.bgp import Rib
+
+        rib = Rib()
+        rib.install(Announcement.originate(p("10.0.0.0/8"), 1))
+        stale = rib.prefixes()
+        rib.install(Announcement.originate(p("11.0.0.0/8"), 2))
+        assert rib.prefixes() == (p("10.0.0.0/8"), p("11.0.0.0/8"))
+        assert rib.prefixes() is not stale
+        rib.withdraw(p("10.0.0.0/8"))
+        assert rib.prefixes() == (p("11.0.0.0/8"),)
+        assert [route.origin for route in rib.routes()] == [ASN(2)]
+
 
 class TestSelectiveDrop:
     """The open-problem policy: drop invalid only when a valid covering

@@ -1,0 +1,178 @@
+"""Tests for the flat Internet-scale deployment family.
+
+The flat generator (``DeploymentConfig(flat=True)``) mints many sibling
+publication points directly under each RIR — no customer subtree, no
+suballocation recursion — which is what lets
+:data:`repro.modelgen.INTERNET_SCALES` reach 10⁴–10⁵ ROAs in O(n).
+These tests pin the family's arithmetic, its determinism (same seed ⇒
+identical world), and the engine-equivalence claim at ``internet-small``:
+a ``workers=4`` refresh produces byte-identical validated objects and
+VRPs to the serial path.
+"""
+
+import pytest
+
+from repro.modelgen import (
+    INTERNET_SCALES,
+    DeploymentConfig,
+    build_deployment,
+    expected_keypairs,
+)
+from repro.repository import Fetcher
+from repro.rp import RelyingParty, VrpSet
+
+# Small enough to build in ~a second, flat like the Internet scales.
+TINY_FLAT = DeploymentConfig(
+    isps_per_rir=6, customers_per_isp=0, roas_per_isp=8,
+    roas_per_customer=0, flat=True, shared_ee_keys=True, seed=33,
+)
+
+
+def _refresh(world, **kwargs):
+    rp = RelyingParty(
+        world.trust_anchors, Fetcher(world.registry, world.clock), **kwargs,
+    )
+    return rp, rp.refresh()
+
+
+class TestFlatGenerator:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_deployment(TINY_FLAT)
+
+    def test_census(self, world):
+        rirs = len(TINY_FLAT.rirs)
+        assert world.roa_count() == rirs * 6 * 8
+        # One trust anchor plus isps_per_rir ISPs per RIR, nothing deeper.
+        assert len(world.authorities()) == rirs * (1 + 6)
+        for root, _rir in world.roots:
+            assert all(
+                not list(child.children()) for child in root.children()
+            )
+
+    def test_keypair_consumption_matches_prediction(self, world):
+        assert world.key_factory.issued == expected_keypairs(TINY_FLAT)
+
+    def test_shared_ee_keys_one_per_authority(self, world):
+        seen = set()
+        for root, _rir in world.roots:
+            for isp in root.children():
+                ee_keys = {
+                    roa.ee_cert.subject_key_id
+                    for roa in isp.issued_roas.values()
+                }
+                assert len(ee_keys) == 1       # shared within the authority
+                seen |= ee_keys
+        # ...but never across authorities (each draws its own keypair).
+        assert len(seen) == len(TINY_FLAT.rirs) * 6
+
+    def test_refresh_clean(self, world):
+        rp, report = _refresh(world)
+        assert report.run.errors() == []
+        assert len(rp.vrps) == world.roa_count()
+
+    def test_every_isp_asn_has_jurisdiction(self, world):
+        isp_count = len(TINY_FLAT.rirs) * 6
+        assert len(world.as_country) == isp_count
+        assert all(country for country in world.as_country.values())
+
+
+class TestConfigValidation:
+    def test_shared_ee_keys_requires_flat(self):
+        with pytest.raises(ValueError, match="flat"):
+            DeploymentConfig(shared_ee_keys=True)
+
+    def test_flat_bounds_roas_per_isp(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(flat=True, roas_per_isp=257)
+
+    def test_flat_bounds_isps_per_rir(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(flat=True, isps_per_rir=255)
+
+
+class TestInternetScalesRegistry:
+    EXPECTED_ROAS = {
+        "internet-small": 10_000,
+        "internet": 30_000,
+        "internet-large": 100_000,
+    }
+
+    def test_family_shape(self):
+        assert set(INTERNET_SCALES) == set(self.EXPECTED_ROAS)
+        for config in INTERNET_SCALES.values():
+            assert config.flat and config.shared_ee_keys
+            assert config.customers_per_isp == 0
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_ROAS))
+    def test_roa_arithmetic(self, name):
+        config = INTERNET_SCALES[name]
+        roas = len(config.rirs) * config.isps_per_rir * config.roas_per_isp
+        assert roas == self.EXPECTED_ROAS[name]
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_ROAS))
+    def test_keypair_arithmetic(self, name):
+        config = INTERNET_SCALES[name]
+        # Shared EE keys: 1 TA + (1 CA + 1 EE) per ISP, per RIR — keygen
+        # is O(authorities), not O(ROAs).
+        per_rir = 1 + config.isps_per_rir * 2
+        assert expected_keypairs(config) == len(config.rirs) * per_rir
+
+
+class TestDeterminism:
+    def test_same_seed_builds_identical_worlds(self):
+        first = build_deployment(TINY_FLAT)
+        second = build_deployment(TINY_FLAT)
+        assert first.roa_count() == second.roa_count()
+        assert (
+            [(ca.handle, ca.key_id) for ca in first.authorities()]
+            == [(ca.handle, ca.key_id) for ca in second.authorities()]
+        )
+        assert first.as_country == second.as_country
+        rp_a, _ = _refresh(first)
+        rp_b, _ = _refresh(second)
+        assert rp_a.vrps.content_hash() == rp_b.vrps.content_hash()
+
+    def test_different_seed_differs(self):
+        from dataclasses import replace
+
+        first = build_deployment(TINY_FLAT)
+        second = build_deployment(replace(TINY_FLAT, seed=34))
+        assert (
+            first.authorities()[0].key_id != second.authorities()[0].key_id
+        )
+
+
+class TestInternetSmallEquivalence:
+    """The heavyweight pin: serial and workers=4 agree at 10^4 ROAs."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_deployment(INTERNET_SCALES["internet-small"])
+
+    def test_workers4_refresh_byte_identical_to_serial(self, world):
+        rp_serial, serial_report = _refresh(world)
+        rp_parallel, parallel_report = _refresh(world, workers=4)
+
+        assert serial_report.run.errors() == []
+        assert parallel_report.run.errors() == []
+        assert len(rp_serial.vrps) == world.roa_count()
+        # Byte identity: the same validated objects (by content hash),
+        # the same VRP set, the same content-addressed digest.
+        assert (
+            sorted(roa.hash_hex for roa in serial_report.run.validated_roas)
+            == sorted(
+                roa.hash_hex for roa in parallel_report.run.validated_roas
+            )
+        )
+        assert rp_serial.vrps.as_frozenset() == rp_parallel.vrps.as_frozenset()
+        assert rp_serial.vrps.content_hash() == rp_parallel.vrps.content_hash()
+
+    def test_lean_refresh_counts_without_retaining(self, world):
+        rp, report = _refresh(world, lean=True)
+        assert report.run.validated_roas == []
+        assert report.run.roa_locations == {}
+        assert report.run.roa_count == world.roa_count()
+        assert len(rp.vrps) == world.roa_count()
+        assert VrpSet(report.run.vrps).content_hash() \
+            == rp.vrps.content_hash()

@@ -204,3 +204,44 @@ class TestWorkerMetricIsolation:
                  + counter.value(outcome="rejected"))
         # Every pooled verification landed in the parent's aggregate.
         assert after - before >= jobs.value(kind="verify")
+
+
+class TestChunkedDispatch:
+    """precompute() flushes at publication-point boundaries, not all-at-once."""
+
+    def _precompute(self, anchors, cache_files, chunk_jobs):
+        registry = MetricsRegistry()
+        engine = ParallelEngine(metrics=registry)
+        engine.chunk_jobs = chunk_jobs
+        batches = []
+        with WorkerPool(0, metrics=registry) as pool:
+            original = pool.map_batches
+
+            def spy(fn, jobs):
+                batches.append(len(jobs))
+                return original(fn, jobs)
+
+            pool.map_batches = spy
+            engine.begin_refresh(pool)
+            dispatched = engine.precompute(anchors, cache_files)
+            redispatched = engine.precompute(anchors, cache_files)
+            engine.end_refresh()
+        return dispatched, redispatched, batches
+
+    def test_small_chunks_dispatch_same_total_as_one_flush(self):
+        world, rp = _fresh_rp()
+        rp.refresh()
+        anchors = world.trust_anchors
+        cache_files = rp.cache.all_files()
+
+        one_flush, _, single = self._precompute(
+            anchors, cache_files, chunk_jobs=10**9
+        )
+        chunked, rerun, batches = self._precompute(
+            anchors, cache_files, chunk_jobs=8
+        )
+        assert len(single) == 1 and single[0] == one_flush
+        assert len(batches) > 1          # actually chunked the stream
+        assert sum(batches) == chunked == one_flush
+        # Second pass inside the same refresh: everything memoized.
+        assert rerun == 0

@@ -302,3 +302,46 @@ class TestCacheGraceWindow:
         self.fail(cache, at=50)
         assert URI in cache.all_files(now=10**9)
         assert cache.classify(10**9)[URI] is CacheFreshness.STALE
+
+
+class TestCacheSnapshot:
+    """The zero-copy serving view streaming refresh validates from."""
+
+    def fill(self, cache, at=0):
+        cache.update(FetchResult(URI, FetchStatus.OK, {"a.roa": b"x"},
+                                 fetched_at=at))
+
+    def fail(self, cache, at):
+        cache.update(FetchResult(URI, FetchStatus.TIMEOUT, fetched_at=at))
+
+    def test_mirrors_all_files(self):
+        cache = LocalCache(metrics=MetricsRegistry())
+        self.fill(cache, at=0)
+        snap = cache.snapshot()
+        assert dict(snap.items()) == cache.all_files()
+        assert len(snap) == 1 and URI in snap
+        assert list(snap) == [URI]
+        assert snap.get("rsync://nobody/repo/") is None
+
+    def test_serves_references_not_copies(self):
+        cache = LocalCache(metrics=MetricsRegistry())
+        self.fill(cache, at=0)
+        snap = cache.snapshot()
+        # all_files() copies each per-point dict; snapshot() must not.
+        assert snap[URI] is cache.point(URI).files
+        assert cache.all_files()[URI] is not cache.point(URI).files
+
+    def test_never_fetched_omitted(self):
+        cache = LocalCache(metrics=MetricsRegistry())
+        self.fail(cache, at=5)  # attempted, never succeeded
+        assert len(cache.snapshot()) == 0
+
+    def test_grace_window_enforced(self):
+        metrics = MetricsRegistry()
+        cache = LocalCache(stale_grace=100, metrics=metrics)
+        self.fill(cache, at=0)
+        self.fail(cache, at=50)
+        assert URI in cache.snapshot(now=50)  # stale but in grace
+        assert metrics.get("repro_cache_stale_serves_total").value() == 1
+        assert len(cache.snapshot(now=200)) == 0  # grace over: withheld
+        assert metrics.get("repro_cache_expired_drops_total").value() == 1

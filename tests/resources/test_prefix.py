@@ -138,3 +138,27 @@ class TestValueSemantics:
     def test_repr_contains_text_form(self):
         p = Prefix.parse("63.174.16.0/20")
         assert repr(p) == "Prefix('63.174.16.0/20')"
+
+
+class TestHashCaching:
+    """__hash__ computes once and is stable — Prefix keys the hot indexes."""
+
+    def test_hash_cached_after_first_use(self):
+        p = Prefix.parse("63.174.16.0/20")
+        assert p._hash == -1          # unset sentinel before first hash
+        value = hash(p)
+        assert p._hash == value != -1
+        assert hash(p) == value       # served from the cache
+
+    def test_equal_prefixes_hash_equal(self):
+        a = Prefix.parse("63.174.16.0/20")
+        b = Prefix.parse("63.174.16.0/20")
+        assert a == b and hash(a) == hash(b)
+
+    def test_cache_never_stores_the_sentinel(self):
+        # -1 is CPython's invalid-hash marker; the cache must remap it so
+        # a prefix whose true hash is -1 doesn't recompute forever.
+        for length in range(0, 33):
+            p = Prefix(Afi.IPV4, 0, length)
+            assert hash(p) != -1 or p._hash == -2
+            assert p._hash != -1

@@ -152,6 +152,49 @@ class TestPrefixMap:
         assert not m
 
 
+class TestGetOrInsert:
+    """The one-walk bucket idiom VrpSet bulk construction rides on."""
+
+    def test_inserts_factory_value_when_absent(self):
+        trie = PrefixTrie(Afi.IPV4)
+        bucket = trie.get_or_insert(p("10.0.0.0/8"), list)
+        assert bucket == []
+        assert trie.get(p("10.0.0.0/8")) is bucket
+        assert len(trie) == 1
+
+    def test_returns_existing_value_without_calling_factory(self):
+        trie = PrefixTrie(Afi.IPV4)
+        first = trie.get_or_insert(p("10.0.0.0/8"), list)
+        first.append("marker")
+
+        def exploding_factory():
+            raise AssertionError("factory must not run on a hit")
+
+        again = trie.get_or_insert(p("10.0.0.0/8"), exploding_factory)
+        assert again is first and again == ["marker"]
+        assert len(trie) == 1
+
+    def test_distinguishes_exact_prefixes(self):
+        trie = PrefixTrie(Afi.IPV4)
+        outer = trie.get_or_insert(p("10.0.0.0/8"), list)
+        inner = trie.get_or_insert(p("10.0.0.0/16"), list)
+        assert outer is not inner
+        assert len(trie) == 2
+
+    def test_family_checked(self):
+        trie = PrefixTrie(Afi.IPV4)
+        with pytest.raises(ValueError):
+            trie.get_or_insert(p("2001:db8::/32"), list)
+
+    def test_prefix_map_dispatches(self):
+        m = PrefixMap()
+        v4 = m.get_or_insert(p("10.0.0.0/8"), list)
+        v6 = m.get_or_insert(p("2001:db8::/32"), list)
+        assert v4 is m.get(p("10.0.0.0/8"))
+        assert v6 is m.get(p("2001:db8::/32"))
+        assert m.get_or_insert(p("10.0.0.0/8"), list) is v4
+
+
 class TestEdgeCases:
     """The extremes the RIB and VRP index lean on."""
 

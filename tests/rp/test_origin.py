@@ -78,6 +78,39 @@ class TestVrpSet:
         assert vrps(("10.0.0.0/8", 1)) == vrps(("10.0.0.0/8", 1))
         assert vrps(("10.0.0.0/8", 1)) != vrps(("10.0.0.0/8", 2))
 
+    def test_extend_returns_novel_count(self):
+        s = VrpSet()
+        batch = [VRP.parse(text, asn) for text, asn in FIGURE2_VRPS]
+        assert s.extend(batch) == len(FIGURE2_VRPS)
+        # Replaying the batch (plus one duplicate) adds nothing.
+        assert s.extend(batch + [batch[0]]) == 0
+        assert len(s) == len(FIGURE2_VRPS)
+
+    def test_extend_equals_incremental_adds(self):
+        batch = [VRP.parse(text, asn) for text, asn in FIGURE2_VRPS]
+        bulk = VrpSet()
+        bulk.extend(batch)
+        one_by_one = VrpSet()
+        for vrp in batch:
+            one_by_one.add(vrp)
+        assert bulk == one_by_one
+        assert bulk.content_hash() == one_by_one.content_hash()
+        assert bulk.as_frozenset() == one_by_one.as_frozenset()
+
+    def test_extend_invalidates_stale_views(self):
+        s = vrps(*FIGURE2_VRPS[:2])
+        stale_hash = s.content_hash()
+        stale_frozen = s.as_frozenset()
+        added = s.extend([VRP.parse("10.0.0.0/8", 1)])
+        assert added == 1
+        assert s.content_hash() != stale_hash
+        assert len(s.as_frozenset()) == len(stale_frozen) + 1
+
+    def test_membership_probe(self):
+        s = vrps(*FIGURE2_VRPS)
+        assert VRP.parse("63.174.16.0/22", 7341) in s
+        assert VRP.parse("63.174.16.0/22", 9999) not in s
+
 
 class TestValidityOrdering:
     def test_rank_order(self):

@@ -229,3 +229,39 @@ class TestKeyRollover:
         assert arin.key_id != old_key_id
         assert arin.certificate.is_self_signed
         assert sprint.certificate.issuer_key_id == arin.key_id
+
+
+class TestDeferredPublication:
+    """Bulk issuance batches per-mutation publishes into one sync."""
+
+    def test_point_untouched_until_exit(self, sprint):
+        with sprint.deferred_publication():
+            name, _roa = sprint.issue_roa(1239, "63.160.0.0/12-13")
+            assert sprint.publication_point.get(name) is None  # deferred
+        assert sprint.publication_point.get(name) is not None  # flushed
+
+    def test_single_publish_covers_whole_batch(self, sprint):
+        with sprint.deferred_publication():
+            names = [
+                sprint.issue_roa(1239, f"63.{160 + i}.0.0/16")[0]
+                for i in range(4)
+            ]
+        point_names = set(sprint.publication_point.names())
+        assert set(names) <= point_names
+        manifest = parse_object(sprint.publication_point.get(MANIFEST_FILE))
+        assert isinstance(manifest, Manifest)
+        assert set(names) <= manifest.file_names  # one manifest, all files
+
+    def test_reentrant_publishes_once_at_outermost_exit(self, sprint):
+        with sprint.deferred_publication():
+            with sprint.deferred_publication():
+                name, _ = sprint.issue_roa(1239, "63.160.0.0/12")
+            # Inner exit must not flush while the outer batch is open.
+            assert sprint.publication_point.get(name) is None
+        assert sprint.publication_point.get(name) is not None
+
+    def test_no_mutation_no_publish(self, sprint):
+        before = sprint.publication_point.revision
+        with sprint.deferred_publication():
+            pass
+        assert sprint.publication_point.revision == before

@@ -1,0 +1,95 @@
+"""Tier-1 hook for the bench-artifact lint (tools/check_bench.py).
+
+Fails the suite if any ``benchmarks/artifacts/BENCH_*.json`` is missing
+its ``pins`` object, misnames its experiment, or records a measurement
+that violates its own pinned bound.
+"""
+
+import json
+import pathlib
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_bench  # noqa: E402
+
+
+def test_committed_artifacts_conform():
+    problems = check_bench.check_all()
+    assert problems == [], "\n".join(problems)
+
+
+def test_known_artifacts_present():
+    names = {path.name for path in check_bench.bench_artifacts()}
+    for expected in ("BENCH_api.json", "BENCH_rtr.json",
+                     "BENCH_parallel.json", "BENCH_chaos.json",
+                     "BENCH_scale.json"):
+        assert expected in names, f"{expected} missing from artifacts"
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def test_lint_accepts_conforming_artifact(tmp_path):
+    _write(tmp_path, "BENCH_demo.json", {
+        "experiment": "demo",
+        "pins": {"qps": {"measured": 12000, "bound": 10000, "op": ">="}},
+        "extra": {"anything": True},
+    })
+    assert check_bench.check_all(tmp_path) == []
+
+
+def test_lint_catches_name_mismatch(tmp_path):
+    _write(tmp_path, "BENCH_demo.json", {
+        "experiment": "other",
+        "pins": {"x": {"measured": 1, "bound": 1, "op": "=="}},
+    })
+    problems = check_bench.check_all(tmp_path)
+    assert len(problems) == 1 and "does not match file name" in problems[0]
+
+
+def test_lint_catches_missing_pins(tmp_path):
+    _write(tmp_path, "BENCH_demo.json", {"experiment": "demo"})
+    problems = check_bench.check_all(tmp_path)
+    assert len(problems) == 1 and "pins" in problems[0]
+
+
+def test_lint_catches_violated_pin(tmp_path):
+    _write(tmp_path, "BENCH_demo.json", {
+        "experiment": "demo",
+        "pins": {"qps": {"measured": 9000, "bound": 10000, "op": ">="}},
+    })
+    problems = check_bench.check_all(tmp_path)
+    assert len(problems) == 1 and "violated" in problems[0]
+
+
+def test_lint_catches_malformed_pin(tmp_path):
+    _write(tmp_path, "BENCH_demo.json", {
+        "experiment": "demo",
+        "pins": {
+            "a": {"measured": "fast", "bound": 1, "op": "<="},
+            "b": {"measured": 1, "bound": 1, "op": "!="},
+            "c": {"measured": True, "bound": 1, "op": "<="},
+        },
+    })
+    problems = check_bench.check_all(tmp_path)
+    assert len(problems) == 3
+
+
+def test_lint_catches_invalid_json(tmp_path):
+    (tmp_path / "BENCH_demo.json").write_text("{oops", encoding="utf-8")
+    problems = check_bench.check_all(tmp_path)
+    assert len(problems) == 1 and "not valid JSON" in problems[0]
+
+
+def test_profile_artifacts_out_of_scope(tmp_path):
+    _write(tmp_path, "PROFILE_refresh.json", {"hotspots": []})
+    _write(tmp_path, "BENCH_demo.json", {
+        "experiment": "demo",
+        "pins": {"x": {"measured": 0, "bound": 0, "op": "=="}},
+    })
+    assert check_bench.check_all(tmp_path) == []

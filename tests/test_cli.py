@@ -228,3 +228,15 @@ class TestRtrCommand:
     def test_rtr_seed_and_scale(self, capsys):
         out = run(capsys, "rtr", "--seed", "11", "--scale", "medium")
         assert "RTR fan-out over the 'medium' deployment (seed 11)" in out
+
+    def test_profile_smoke(self, capsys):
+        out = run(capsys, "profile", "--top", "5")
+        assert "Profiled refresh over the 'small' deployment" in out
+        assert "serial mode, lean" in out
+        assert "top 5 functions by self time" in out
+        assert "tools/profile_refresh.py" in out
+
+    def test_profile_seed_and_workers(self, capsys):
+        out = run(capsys, "profile", "--top", "3", "--seed", "9",
+                  "--workers", "2")
+        assert "seed 9" in out and "parallel(2) mode" in out

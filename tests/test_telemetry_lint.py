@@ -49,6 +49,14 @@ def test_lint_catches_wall_clock(tmp_path):
     assert len(problems) == 1 and "simulated Clock" in problems[0]
 
 
+def test_wall_clock_exemption_is_only_the_profiler():
+    # repro.profiling measures real elapsed time by design; nothing else
+    # under src/repro may join the exemption without justification here.
+    assert check_telemetry_names.WALL_CLOCK_EXEMPT == {
+        "src/repro/profiling.py"
+    }
+
+
 def test_lint_accepts_clean_module(tmp_path):
     good = tmp_path / "good.py"
     good.write_text(
