@@ -1,14 +1,21 @@
 """Micro-benchmarks of the hot paths under the experiments.
 
-Not tied to a paper artifact; these keep the substrate honest — origin
-validation and trie lookups are the per-route costs a relying party pays
-on every BGP update, and signing/verification dominate model
-construction.
+These keep the substrate honest — origin validation and trie lookups
+are the per-route costs a relying party pays on every BGP update, and
+signing/verification dominate model construction.  Most are plain
+pytest-benchmark timings; the CTLV serialization section additionally
+pins its per-operation costs in ``BENCH_microperf.json`` (the artifact
+behind the zero-copy engine's claims in docs/performance.md), with
+bounds generous enough for slow CI.
 """
 
+import json
 import random
+import time
 
-from repro.crypto import generate_keypair
+from conftest import write_artifact
+
+from repro.crypto import decode, encode, generate_keypair
 from repro.resources import ASN, Afi, Prefix, PrefixTrie
 from repro.rp import VRP, Route, VrpSet, validate
 
@@ -142,6 +149,97 @@ def test_vrpset_bulk_construction_10k(benchmark):
     vrps = benchmark(bulk_build)
     assert len(vrps) == len(set(raw))
     assert vrps.content_hash()  # views build once, after the bulk load
+
+
+# --------------------------------------------------------------------------
+# CTLV serialization fast path: the two object shapes that dominate wire
+# traffic.  A manifest's entries map grows with the publication point
+# (here 1024 files, the internet-scale shape); a ROA payload is small but
+# encoded/decoded once per object per refresh.  Bounds are ~10x typical
+# measurements; the real regression gate is the refresh wall-clock pinned
+# in BENCH_scale.json — these localize a regression to the codec.
+
+MAX_MANIFEST_ENCODE_MS = 15.0   # ~1.3 ms measured
+MAX_MANIFEST_DECODE_MS = 15.0   # ~1.5 ms measured
+MAX_ROA_ENCODE_MS = 0.5        # ~0.025 ms measured
+MAX_ROA_DECODE_MS = 0.5        # ~0.027 ms measured
+
+_PINS: dict[str, dict] = {}
+
+
+def _pin(name: str, measured, bound, op: str) -> None:
+    _PINS[name] = {"measured": measured, "bound": bound, "op": op}
+
+
+def _best_ms(fn, arg, repeats=5, loops=40) -> float:
+    """Best-of-*repeats* mean per-call milliseconds over *loops* calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn(arg)
+        best = min(best, (time.perf_counter() - start) / loops)
+    return best * 1000
+
+
+def manifest_sized_list(files=1024, seed=14):
+    """A manifest-entries shape: *files* ``[name, sha256]`` pairs."""
+    rng = random.Random(seed)
+    return [[f"roa_{i:04d}.roa", rng.randbytes(32)] for i in range(files)]
+
+
+def roa_sized_map(seed=15):
+    """A ROA-payload shape: small map with an embedded EE certificate."""
+    rng = random.Random(seed)
+    return {
+        "type": "roa",
+        "serial": 123456,
+        "issuer_key_id": "ab" * 10,
+        "asn": 64512,
+        "prefixes": [[1, rng.getrandbits(32), 20, 24] for _ in range(6)],
+        "ee_cert": rng.randbytes(700),
+        "not_before": 0,
+        "not_after": 86400 * 365,
+    }
+
+
+def test_ctlv_manifest_sized_list_pinned():
+    value = manifest_sized_list()
+    blob = encode(value)
+    assert decode(blob) == value
+    encode_ms = round(_best_ms(encode, value), 4)
+    decode_ms = round(_best_ms(decode, blob), 4)
+    assert encode_ms <= MAX_MANIFEST_ENCODE_MS
+    assert decode_ms <= MAX_MANIFEST_DECODE_MS
+    _pin("manifest_list_encode_ms", encode_ms, MAX_MANIFEST_ENCODE_MS, "<=")
+    _pin("manifest_list_decode_ms", decode_ms, MAX_MANIFEST_DECODE_MS, "<=")
+
+
+def test_ctlv_roa_sized_map_pinned():
+    value = roa_sized_map()
+    blob = encode(value)
+    assert decode(blob) == value
+    encode_ms = round(_best_ms(encode, value), 4)
+    decode_ms = round(_best_ms(decode, blob), 4)
+    assert encode_ms <= MAX_ROA_ENCODE_MS
+    assert decode_ms <= MAX_ROA_DECODE_MS
+    _pin("roa_map_encode_ms", encode_ms, MAX_ROA_ENCODE_MS, "<=")
+    _pin("roa_map_decode_ms", decode_ms, MAX_ROA_DECODE_MS, "<=")
+
+
+def test_write_microperf_artifact():
+    for name in ("manifest_list_encode_ms", "manifest_list_decode_ms",
+                 "roa_map_encode_ms", "roa_map_decode_ms"):
+        assert name in _PINS, f"pin {name} never recorded"
+    write_artifact("BENCH_microperf.json", json.dumps({
+        "experiment": "microperf",
+        "pins": _PINS,
+        "shapes": {
+            "manifest_list": {"files": 1024,
+                              "wire_bytes": len(encode(manifest_sized_list()))},
+            "roa_map": {"wire_bytes": len(encode(roa_sized_map()))},
+        },
+    }, indent=2) + "\n")
 
 
 def test_vrpset_difference_2k(benchmark):

@@ -24,9 +24,24 @@ from .rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
 __all__ = ["KeyPair", "KeyFactory", "key_id_of"]
 
 
+# key_id_of memo.  Internet-scale worlds share one EE key per authority,
+# so build_certificate derives the same key id tens of thousands of times;
+# the id is a pure function of (modulus, exponent).  Bounded so a run that
+# churns through endless throwaway keys cannot grow it without limit.
+_KEY_ID_MEMO: dict[tuple[int, int], str] = {}
+_KEY_ID_MEMO_MAX = 65536
+
+
 def key_id_of(public: RsaPublicKey) -> str:
     """The key identifier: a hex fingerprint of the canonical public key."""
-    return fingerprint(encode(public.to_dict()), length=20)
+    memo_key = (public.modulus, public.exponent)
+    key_id = _KEY_ID_MEMO.get(memo_key)
+    if key_id is None:
+        key_id = fingerprint(encode(public.to_dict()), length=20)
+        if len(_KEY_ID_MEMO) >= _KEY_ID_MEMO_MAX:
+            _KEY_ID_MEMO.clear()
+        _KEY_ID_MEMO[memo_key] = key_id
+    return key_id
 
 
 @dataclass(frozen=True)

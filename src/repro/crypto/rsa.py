@@ -12,6 +12,7 @@ constant-time guarantees, and default key sizes are chosen for test speed.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 
@@ -118,13 +119,17 @@ class RsaPrivateKey:
     """An RSA private key; carries its public half.
 
     Keys produced by :func:`generate_keypair` additionally carry the CRT
-    precomputation (``p``, ``q``, ``d_p``, ``d_q``, ``q_inv``), which
-    :meth:`sign` uses to replace one full-width modular exponentiation
-    with two half-width ones.  The CRT and plain paths produce identical
-    signature bytes (same mathematical value; pinned by
-    ``tests/crypto/test_rsa.py``), so keys built from ``(public, d)``
-    alone — older pickles, hand-constructed fixtures — keep working on
-    the plain path.
+    precomputation (``p``, ``q``, ``d_p``, ``d_q``, ``q_inv``; plus
+    ``extra`` ``(r_i, d_i, t_i)`` triplets for multi-prime keys per
+    RFC 8017 §3.2), which :meth:`sign` uses to replace one full-width
+    modular exponentiation with several fractional-width ones — modular
+    exponentiation cost grows superlinearly in operand width, so three
+    third-width pows beat two half-width ones, which beat one full-width
+    one.  Every path produces identical signature bytes (same
+    mathematical value; pinned by ``tests/crypto/test_rsa.py``), so keys
+    built from ``(public, d)`` alone — older pickles, hand-constructed
+    fixtures — keep working on the plain path, and two-prime keys on the
+    classic CRT path.
     """
 
     public: RsaPublicKey
@@ -134,6 +139,9 @@ class RsaPrivateKey:
     d_p: int | None = None
     d_q: int | None = None
     q_inv: int | None = None
+    # Multi-prime tail (RFC 8017 ``(r_i, d_i, t_i)``): prime, d mod
+    # (r_i - 1), and the inverse of the preceding primes' product mod r_i.
+    extra: tuple[tuple[int, int, int], ...] = ()
 
     def sign(self, message: bytes) -> bytes:
         """Sign SHA-256(message) with PKCS#1-v1.5-style padding."""
@@ -156,7 +164,18 @@ class RsaPrivateKey:
         m1 = pow(m % self.p, self.d_p, self.p)
         m2 = pow(m % self.q, self.d_q, self.q)
         h = (self.q_inv * (m1 - m2)) % self.p
-        return m2 + h * self.q
+        x = m2 + h * self.q
+        if not self.extra:
+            return x
+        # Garner's algorithm over the remaining primes (RFC 8017 §5.1.2):
+        # x already solves the congruences mod p*q; fold each r_i in.
+        product = self.p * self.q
+        for r_i, d_i, t_i in self.extra:
+            m_i = pow(m % r_i, d_i, r_i)
+            h = ((m_i - x) * t_i) % r_i
+            x += product * h
+            product *= r_i
+        return x
 
 
 def generate_keypair(bits: int = 512, rng: random.Random | None = None) -> RsaPrivateKey:
@@ -188,24 +207,35 @@ def generate_keypair_raw(
             f"modulus must be at least {_MIN_MODULUS_BITS} bits, got {bits}"
         )
     rng = rng or random.Random()
-    half = bits // 2
+    # Multi-prime RSA (RFC 8017): three roughly-third-width primes.  The
+    # public key and signature bytes are indistinguishable from two-prime
+    # RSA at the same modulus size; what changes is private-key CRT cost
+    # — three third-width modular exponentiations are markedly cheaper
+    # than two half-width ones, and keygen tests smaller primes.
+    sizes = (bits - 2 * (bits // 3), bits // 3, bits // 3)
     while True:
-        p = generate_prime(half, rng)
-        q = generate_prime(bits - half, rng)
-        if p == q:
+        primes = [generate_prime(size, rng) for size in sizes]
+        if len(set(primes)) != len(primes):
             continue
-        n = p * q
+        n = math.prod(primes)
         if n.bit_length() != bits:
             continue
-        phi = (p - 1) * (q - 1)
+        phi = math.prod(prime - 1 for prime in primes)
         try:
             d = pow(_PUBLIC_EXPONENT, -1, phi)
         except ValueError:
             continue  # e not invertible mod phi; rare, retry
+        p, q, *rest = primes
+        product = p * q
+        extra = []
+        for r_i in rest:
+            extra.append((r_i, d % (r_i - 1), pow(product, -1, r_i)))
+            product *= r_i
         return RsaPrivateKey(
             public=RsaPublicKey(modulus=n), d=d,
             p=p, q=q, d_p=d % (p - 1), d_q=d % (q - 1),
             q_inv=pow(q, -1, p),
+            extra=tuple(extra),
         )
 
 

@@ -35,7 +35,7 @@ well-formed but semantically adversarial content:
 - :data:`FaultKind.KEY_SWAP` — two objects served under each other's
   file names (valid signatures, wrong slots — manifest hashes catch it);
 - :data:`FaultKind.OVERSIZED` — a file replaced by a deeply nested
-  encoding whose decoder blows the recursion limit, the CURE-style
+  encoding far beyond the decoder's container-depth cap, the CURE-style
   crash vector the relying party's containment layer must quarantine.
 
 Replay kinds draw on the publication point's checkpoint history (see
@@ -105,9 +105,12 @@ _LEN = struct.Struct(">I")
 def nested_bomb(depth: int = 4000) -> bytes:
     """CTLV bytes of a list nested *depth* levels deep (~5 bytes/level).
 
-    Structurally valid, so nothing rejects it cheaply — the recursive
-    decoder in :mod:`repro.crypto.encoding` must walk all the way down,
-    which blows Python's recursion limit long before 4000 levels.  This
+    Structurally valid framing, so nothing rejects it for free — the
+    decoder in :mod:`repro.crypto.encoding` starts walking and bails with
+    a deterministic :class:`~repro.crypto.errors.EncodingError` at its
+    explicit container-depth cap (``MAX_NESTING``, 64), long before 4000
+    levels; historically this same payload blew Python's recursion limit.
+    Either way the parse fails and containment must quarantine it.  This
     is the oversized/deeply-nested payload class of attack that CURE
     found crashing production relying parties.
     """

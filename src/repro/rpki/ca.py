@@ -660,13 +660,19 @@ class CertificateAuthority:
         point = self.publication_point
         now = self._clock.now
 
+        # Wire bytes and SHA-256 are both cached on the objects, so a sync
+        # collects references — no per-publish re-encoding or re-hashing.
         desired: dict[str, bytes] = {}
+        entries: dict[str, str] = {}
         for name, certificate in self._issued_certs.items():
             desired[name] = certificate.to_bytes()
+            entries[name] = certificate.hash_hex
         for name, roa in self._issued_roas.items():
             desired[name] = roa.to_bytes()
+            entries[name] = roa.hash_hex
         if self._contact is not None:
             desired[GHOSTBUSTERS_FILE] = self._contact.to_bytes()
+            entries[GHOSTBUSTERS_FILE] = self._contact.hash_hex
 
         crl = build_crl(
             issuer_key=self._key,
@@ -677,11 +683,9 @@ class CertificateAuthority:
             next_update=now + _DEFAULT_CRL_WINDOW,
         )
         desired[CRL_FILE] = crl.to_bytes()
+        entries[CRL_FILE] = crl.hash_hex
 
         if update_manifest:
-            from ..crypto import sha256_hex
-
-            entries = {name: sha256_hex(data) for name, data in desired.items()}
             manifest = build_manifest(
                 issuer_key=self._key,
                 issuer_key_id=self.key_id,

@@ -28,8 +28,9 @@ class _BaseCertificate(SignedObject):
 
     __slots__ = ("_ip_resources", "_as_resources")
 
-    def __init__(self, payload: dict, signature: bytes):
-        super().__init__(payload, signature)
+    def __init__(self, payload: dict, signature: bytes, *,
+                 encoded_payload: bytes | None = None):
+        super().__init__(payload, signature, encoded_payload=encoded_payload)
         self._ip_resources = resource_set_from_data(payload["ip_resources"])
         self._as_resources = asn_set_from_data(payload["as_resources"])
 
@@ -156,5 +157,6 @@ def build_certificate(
     }
     from ..crypto import encode  # local import to keep module deps one-way
 
-    signature = issuer_key.sign(encode(payload))
-    return cls(payload, signature)
+    encoded_payload = encode(payload)
+    signature = issuer_key.sign(encoded_payload)
+    return cls(payload, signature, encoded_payload=encoded_payload)

@@ -22,8 +22,9 @@ class Crl(SignedObject):
 
     __slots__ = ("_revoked",)
 
-    def __init__(self, payload: dict, signature: bytes):
-        super().__init__(payload, signature)
+    def __init__(self, payload: dict, signature: bytes, *,
+                 encoded_payload: bytes | None = None):
+        super().__init__(payload, signature, encoded_payload=encoded_payload)
         self._revoked = frozenset(payload["revoked_serials"])
 
     @property
@@ -67,4 +68,6 @@ def build_crl(
         "not_before": this_update,
         "not_after": next_update,
     }
-    return Crl(payload, issuer_key.sign(encode(payload)))
+    encoded_payload = encode(payload)
+    signature = issuer_key.sign(encoded_payload)
+    return Crl(payload, signature, encoded_payload=encoded_payload)

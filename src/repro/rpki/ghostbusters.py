@@ -33,18 +33,24 @@ class GhostbustersRecord(SignedObject):
 
     __slots__ = ("_ee_cert",)
 
-    def __init__(self, payload: dict, signature: bytes):
-        super().__init__(payload, signature)
+    def __init__(self, payload: dict, signature: bytes, *,
+                 encoded_payload: bytes | None = None,
+                 ee_cert: EECertificate | None = None):
+        super().__init__(payload, signature, encoded_payload=encoded_payload)
         vcard = payload.get("vcard")
         if not isinstance(vcard, dict) or "fn" not in vcard:
             raise ObjectFormatError("ghostbusters record needs a vCard with fn")
         unknown = set(vcard) - _ALLOWED_FIELDS
         if unknown:
             raise ObjectFormatError(f"unknown vCard fields: {sorted(unknown)}")
-        ee_payload, ee_signature = SignedObject.bytes_to_parts(
-            payload["ee_cert"]
-        )
-        self._ee_cert = EECertificate(ee_payload, ee_signature)
+        if ee_cert is None:
+            ee_payload, ee_signature, ee_encoded = SignedObject.split_wire(
+                payload["ee_cert"]
+            )
+            ee_cert = EECertificate(
+                ee_payload, ee_signature, encoded_payload=ee_encoded
+            )
+        self._ee_cert = ee_cert
 
     @property
     def vcard(self) -> dict[str, str]:
@@ -86,4 +92,8 @@ def build_ghostbusters(
         "not_before": not_before,
         "not_after": not_after,
     }
-    return GhostbustersRecord(payload, ee_key.sign(encode(payload)))
+    encoded_payload = encode(payload)
+    signature = ee_key.sign(encoded_payload)
+    return GhostbustersRecord(payload, signature,
+                              encoded_payload=encoded_payload,
+                              ee_cert=ee_cert)

@@ -27,8 +27,9 @@ class Manifest(SignedObject):
 
     __slots__ = ("_entries",)
 
-    def __init__(self, payload: dict, signature: bytes):
-        super().__init__(payload, signature)
+    def __init__(self, payload: dict, signature: bytes, *,
+                 encoded_payload: bytes | None = None):
+        super().__init__(payload, signature, encoded_payload=encoded_payload)
         self._entries = dict(payload["entries"])
 
     @property
@@ -76,4 +77,6 @@ def build_manifest(
         "not_before": this_update,
         "not_after": next_update,
     }
-    return Manifest(payload, issuer_key.sign(encode(payload)))
+    encoded_payload = encode(payload)
+    signature = issuer_key.sign(encoded_payload)
+    return Manifest(payload, signature, encoded_payload=encoded_payload)

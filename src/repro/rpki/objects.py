@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..crypto import RsaPublicKey, decode, encode, sha256_hex
+from ..crypto.encoding import encode_parts, toplevel_spans
 from ..resources import (
     AddressRange,
     Afi,
@@ -25,6 +26,7 @@ from ..resources import (
     Prefix,
     ResourceSet,
 )
+from ..telemetry import default_registry
 from .errors import ObjectFormatError
 
 __all__ = [
@@ -36,6 +38,28 @@ __all__ = [
     "prefix_to_data",
     "prefix_from_data",
 ]
+
+# Canonical-bytes memo telemetry.  RPKI objects are immutable, so the
+# encoded payload computed at issuance (the bytes the builder signed) or
+# at parse time (a slice of the fetched wire form) is *the* canonical
+# encoding forever — a miss means a constructor had to re-encode its
+# payload from the dictionary.  Bound to the process-global registry at
+# import time (the default registry is a permanent singleton, only ever
+# reset in place), same as repro.crypto.rsa's counters.
+_ENCODE_CACHE_HITS = default_registry().counter(
+    "repro_crypto_encode_cache_hits_total",
+    help="SignedObject constructions that reused pre-encoded payload bytes",
+)
+_ENCODE_CACHE_MISSES = default_registry().counter(
+    "repro_crypto_encode_cache_misses_total",
+    help="SignedObject constructions that had to re-encode their payload",
+)
+
+
+def _restore(cls: type, payload: dict, signature: bytes,
+             encoded_payload: bytes) -> "SignedObject":
+    """Unpickle entry point: rebuild without re-encoding the payload."""
+    return cls(payload, signature, encoded_payload=encoded_payload)
 
 
 def resource_set_to_data(resources: ResourceSet) -> list:
@@ -101,17 +125,27 @@ class SignedObject:
 
     TYPE = ""
 
-    __slots__ = ("_payload", "_signature", "_encoded_payload", "_hash_hex")
+    __slots__ = ("_payload", "_signature", "_encoded_payload", "_wire",
+                 "_hash_hex")
 
-    def __init__(self, payload: dict, signature: bytes):
+    def __init__(self, payload: dict, signature: bytes, *,
+                 encoded_payload: bytes | None = None):
         if self.TYPE and payload.get("type") != self.TYPE:
             raise ObjectFormatError(
                 f"payload type {payload.get('type')!r} != expected {self.TYPE!r}"
             )
         self._payload = payload
         self._signature = signature
-        self._encoded_payload = encode(payload)
-        self._hash_hex = sha256_hex(self.to_bytes())
+        if encoded_payload is None:
+            _ENCODE_CACHE_MISSES.inc()
+            encoded_payload = encode(payload)
+        else:
+            _ENCODE_CACHE_HITS.inc()
+        self._encoded_payload = encoded_payload
+        # The full wire form is [payload, signature]; with the payload
+        # bytes in hand it is a header + concatenation, never a re-encode.
+        self._wire = encode_parts(encoded_payload, encode(signature))
+        self._hash_hex = sha256_hex(self._wire)
 
     # -- signing surface -----------------------------------------------------
 
@@ -136,8 +170,12 @@ class SignedObject:
     # -- wire form -------------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Serialize the whole object (payload + signature)."""
-        return encode([self._payload, self._signature])
+        """Serialize the whole object (payload + signature).
+
+        Cached at construction — objects are immutable, so publication,
+        manifest hashing, and equality all reuse the same bytes.
+        """
+        return self._wire
 
     @classmethod
     def bytes_to_parts(cls, blob: bytes) -> tuple[dict, bytes]:
@@ -146,6 +184,17 @@ class SignedObject:
         Raises :class:`ObjectFormatError` on any structural problem; this
         is the choke point through which every fetched byte string passes,
         so corruption injected by the fault layer surfaces here.
+        """
+        payload, signature, _encoded_payload = cls.split_wire(blob)
+        return payload, signature
+
+    @classmethod
+    def split_wire(cls, blob: bytes) -> tuple[dict, bytes, bytes]:
+        """Split a serialized object into (payload, signature, payload bytes).
+
+        The third element is the payload's exact canonical encoding — a
+        slice of *blob* — suitable for the ``encoded_payload`` constructor
+        argument, so parsing never re-encodes what it just decoded.
         """
         try:
             decoded = decode(blob)
@@ -158,7 +207,10 @@ class SignedObject:
             or not isinstance(decoded[1], bytes)
         ):
             raise ObjectFormatError("object is not [payload, signature]")
-        return decoded[0], decoded[1]
+        # decode() proved blob is a well-formed two-item list, so the
+        # span walk cannot fail; item 0's span is the payload's bytes.
+        start, end = toplevel_spans(blob)[0]
+        return decoded[0], decoded[1], blob[start:end]
 
     @property
     def hash_hex(self) -> str:
@@ -193,7 +245,13 @@ class SignedObject:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SignedObject):
             return NotImplemented
-        return self.to_bytes() == other.to_bytes()
+        return self._wire == other._wire
 
     def __hash__(self) -> int:
         return hash(self._hash_hex)
+
+    def __reduce__(self):
+        # Ship the cached payload encoding with the pickle so worker-pool
+        # round trips rebuild the object without re-encoding it.
+        return (_restore, (type(self), self._payload, self._signature,
+                           self._encoded_payload))

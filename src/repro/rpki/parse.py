@@ -35,13 +35,15 @@ def parse_object(blob: bytes) -> SignedObject:
     undecodable bytes, unknown type tags, or payloads that fail the
     subclass's own field validation.
     """
-    payload, signature = SignedObject.bytes_to_parts(blob)
+    payload, signature, encoded_payload = SignedObject.split_wire(blob)
     type_tag = payload.get("type")
     cls = OBJECT_TYPES.get(type_tag)
     if cls is None:
         raise ObjectFormatError(f"unknown object type {type_tag!r}")
     try:
-        return cls(payload, signature)
+        # The payload bytes are a slice of *blob* — the constructor reuses
+        # them instead of re-encoding the dictionary it was handed.
+        return cls(payload, signature, encoded_payload=encoded_payload)
     except ObjectFormatError:
         raise
     except Exception as exc:

@@ -69,14 +69,25 @@ class Roa(SignedObject):
 
     __slots__ = ("_prefixes", "_ee_cert")
 
-    def __init__(self, payload: dict, signature: bytes):
-        super().__init__(payload, signature)
+    def __init__(self, payload: dict, signature: bytes, *,
+                 encoded_payload: bytes | None = None,
+                 ee_cert: EECertificate | None = None):
+        super().__init__(payload, signature, encoded_payload=encoded_payload)
         self._prefixes = tuple(
             RoaPrefix(prefix_from_data(p), max_length if max_length >= 0 else None)
             for p, max_length in payload["prefixes"]
         )
-        ee_payload, ee_signature = SignedObject.bytes_to_parts(payload["ee_cert"])
-        self._ee_cert = EECertificate(ee_payload, ee_signature)
+        if ee_cert is None:
+            # Untrusted path (parsing fetched bytes): re-parse the
+            # embedded certificate.  Its payload bytes are a slice of
+            # the embedded wire form, so no re-encode happens.
+            ee_payload, ee_signature, ee_encoded = SignedObject.split_wire(
+                payload["ee_cert"]
+            )
+            ee_cert = EECertificate(
+                ee_payload, ee_signature, encoded_payload=ee_encoded
+            )
+        self._ee_cert = ee_cert
 
     @property
     def asn(self) -> ASN:
@@ -135,5 +146,9 @@ def build_roa(
         "not_before": not_before,
         "not_after": not_after,
     }
-    signature = ee_key.sign(encode(payload))
-    return Roa(payload, signature)
+    encoded_payload = encode(payload)
+    signature = ee_key.sign(encoded_payload)
+    # The builder holds the EE certificate it just embedded — hand the
+    # object through so construction skips re-parsing its own bytes.
+    return Roa(payload, signature, encoded_payload=encoded_payload,
+               ee_cert=ee_cert)

@@ -1,5 +1,6 @@
 """Unit tests for RSA signing, verification, and key identity."""
 
+import math
 import random
 
 import pytest
@@ -119,10 +120,17 @@ class TestCrtAcceleration:
 
     def test_keygen_precomputes_crt_fields(self, keypair):
         assert keypair.p is not None and keypair.q is not None
-        assert keypair.p * keypair.q == keypair.public.modulus
+        primes = [keypair.p, keypair.q] + [r for r, _d, _t in keypair.extra]
+        assert math.prod(primes) == keypair.public.modulus
+        assert len(set(primes)) == len(primes)
         assert keypair.d_p == keypair.d % (keypair.p - 1)
         assert keypair.d_q == keypair.d % (keypair.q - 1)
         assert keypair.q_inv == pow(keypair.q, -1, keypair.p)
+        product = keypair.p * keypair.q
+        for r_i, d_i, t_i in keypair.extra:
+            assert d_i == keypair.d % (r_i - 1)
+            assert t_i == pow(product, -1, r_i)
+            product *= r_i
 
     def test_crt_signature_matches_plain_path(self, keypair):
         from repro.crypto import RsaPrivateKey

@@ -233,7 +233,8 @@ class TestRtrCommand:
         out = run(capsys, "profile", "--top", "5")
         assert "Profiled refresh over the 'small' deployment" in out
         assert "serial mode, lean" in out
-        assert "top 5 functions by self time" in out
+        assert "top 5 refresh functions by self time" in out
+        assert "top 5 world-build functions by self time" in out
         assert "tools/profile_refresh.py" in out
 
     def test_profile_seed_and_workers(self, capsys):

@@ -17,9 +17,14 @@ measurement that violates its own bound:
    wrote the file; the lint catches hand-edits and writer drift.)
 
 Anything else in the artifact — sections of measured values, configs,
-sweeps — is free-form.  ``PROFILE_*.json`` investigation artifacts are
-deliberately out of scope: their numbers are wall-clock observations,
-not claims.
+sweeps — is free-form.
+
+``PROFILE_*.json`` investigation artifacts are checked for *shape*, not
+numbers: their seconds are wall-clock observations, not claims, but a
+regenerated profile must still carry the full report schema (deployment
+metadata plus ``hotspots`` and ``build_hotspots`` tables of
+``{location, ncalls, tottime, cumtime}`` rows) so docs/performance.md
+always has both tables to quote.
 
 Run directly (``python tools/check_bench.py``, exit 1 on problems) or
 via the tier-1 test ``tests/test_bench_lint.py``.
@@ -46,6 +51,15 @@ def bench_artifacts(artifacts: pathlib.Path = ARTIFACTS) -> list[pathlib.Path]:
     if not artifacts.is_dir():
         return []
     return sorted(artifacts.glob("BENCH_*.json"))
+
+
+def profile_artifacts(
+    artifacts: pathlib.Path = ARTIFACTS,
+) -> list[pathlib.Path]:
+    """Every archived profile report, sorted by name."""
+    if not artifacts.is_dir():
+        return []
+    return sorted(artifacts.glob("PROFILE_*.json"))
 
 
 def check_artifact(path: pathlib.Path) -> list[str]:
@@ -101,6 +115,74 @@ def check_artifact(path: pathlib.Path) -> list[str]:
     return problems
 
 
+# Scalar fields a ProfileReport JSON must carry, with their types.
+# (bool is checked before int: bool is an int subclass in Python.)
+_PROFILE_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "scale": str,
+    "seed": int,
+    "mode": str,
+    "lean": bool,
+    "roa_count": int,
+    "authority_count": int,
+    "vrp_count": int,
+    "rounds": int,
+    "build_seconds": (int, float),
+    "refresh_seconds": (int, float),
+}
+
+_HOTSPOT_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "location": str,
+    "ncalls": int,
+    "tottime": (int, float),
+    "cumtime": (int, float),
+}
+
+
+def _typed(value, expected) -> bool:
+    if expected is not bool and isinstance(value, bool):
+        return False
+    return isinstance(value, expected)
+
+
+def _check_hotspot_table(rel, data, field, problems) -> None:
+    table = data.get(field)
+    if not isinstance(table, list):
+        problems.append(f"{rel}: '{field}' must be a list of hotspot rows")
+        return
+    if field == "hotspots" and not table:
+        problems.append(f"{rel}: 'hotspots' table is empty")
+    for index, row in enumerate(table):
+        if not isinstance(row, dict):
+            problems.append(f"{rel}: {field}[{index}] is not an object")
+            continue
+        for name, expected in _HOTSPOT_FIELDS.items():
+            if not _typed(row.get(name), expected):
+                problems.append(
+                    f"{rel}: {field}[{index}]: field {name!r} missing or "
+                    "mistyped"
+                )
+
+
+def check_profile(path: pathlib.Path) -> list[str]:
+    """Schema problems in one PROFILE_*.json (empty list = conforming)."""
+    rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) \
+        else path
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [f"{rel}: not valid JSON ({exc})"]
+    if not isinstance(data, dict):
+        return [f"{rel}: top level must be a JSON object"]
+
+    problems = []
+    for name, expected in _PROFILE_FIELDS.items():
+        if not _typed(data.get(name), expected):
+            problems.append(f"{rel}: field {name!r} missing or mistyped")
+    _check_hotspot_table(rel, data, "hotspots", problems)
+    _check_hotspot_table(rel, data, "build_hotspots", problems)
+    return problems
+
+
 def check_all(artifacts: pathlib.Path = ARTIFACTS) -> list[str]:
     paths = bench_artifacts(artifacts)
     if not paths:
@@ -108,6 +190,8 @@ def check_all(artifacts: pathlib.Path = ARTIFACTS) -> list[str]:
     problems = []
     for path in paths:
         problems.extend(check_artifact(path))
+    for path in profile_artifacts(artifacts):
+        problems.extend(check_profile(path))
     return problems
 
 
@@ -118,9 +202,10 @@ def main() -> int:
     if problems:
         print(f"{len(problems)} bench-artifact problem(s)", file=sys.stderr)
         return 1
-    count = len(bench_artifacts())
-    print(f"bench lint ok: {count} artifact(s), every pin present and "
-          "satisfied")
+    benches = len(bench_artifacts())
+    profiles = len(profile_artifacts())
+    print(f"bench lint ok: {benches} pinned artifact(s) and {profiles} "
+          "profile report(s), every pin present and satisfied")
     return 0
 
 
