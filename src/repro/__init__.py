@@ -61,8 +61,11 @@ from .chaos import (
     CampaignResult,
     FaultPlan,
     PlannedFault,
+    StallorisConfig,
+    StallorisReport,
     Violation,
     build_plan,
+    measure_stalloris,
     run_campaign,
     shrink_plan,
 )
@@ -110,6 +113,7 @@ from .repository import (
     FaultKind,
     Fetcher,
     FetchResult,
+    FetchScheduler,
     FetchStatus,
     LocalCache,
     RepositoryRegistry,
@@ -117,6 +121,7 @@ from .repository import (
     ResilienceConfig,
     RetryPolicy,
     RsyncUri,
+    SchedulerConfig,
     always_reachable,
     nested_bomb,
 )
@@ -159,7 +164,7 @@ from .telemetry import (
     trace,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 # Sorted, complete, and drift-checked (tools/check_facade.py).
 __all__ = [
@@ -170,7 +175,8 @@ __all__ = [
     "ChurnEngine", "CircuitBreaker", "Clock", "ClosedLoopSimulation",
     "Counter", "DAY", "DegradationReport", "DeploymentConfig",
     "DetectionExperiment", "DuplexPipe", "ENGINE_MODES", "FaultInjector",
-    "FaultKind", "FaultPlan", "FetchResult", "FetchStatus", "Fetcher",
+    "FaultKind", "FaultPlan", "FetchResult", "FetchScheduler", "FetchStatus",
+    "Fetcher",
     "Figure2World", "Gauge", "HOUR", "Histogram", "HistoryEntry",
     "INTERNET_SCALES", "IncrementalState", "KeyFactory", "LocalCache",
     "MetricsRegistry",
@@ -180,14 +186,17 @@ __all__ = [
     "RepositoryServer", "ResilienceConfig", "ResourceCertificate",
     "ResourceSet", "ResponseCache", "RetryPolicy", "Roa", "Route",
     "RouteValidity", "RsyncUri", "RtrCacheServer", "RtrRouterClient",
+    "SchedulerConfig",
     "SessionMux", "ShardRouter", "Span", "StallConfig", "StallDetector",
+    "StallorisConfig", "StallorisReport",
     "SuspendersRelyingParty", "TokenBucket", "VRP", "ValidationRun",
     "Violation", "VrpDiff", "VrpSet", "WorkerPool", "YEAR", "__version__",
     "always_reachable", "analyze", "build_deployment", "build_figure2",
     "build_plan", "build_table4_world", "classify", "collateral_of_revocation",
     "cross_border_audit", "default_registry", "demonstrate_all",
     "diff_snapshots", "execute_whack", "expected_keypairs", "figure2_bgp",
-    "generate_keypair", "missing_roa_impact", "nested_bomb", "plan_whack",
+    "generate_keypair", "measure_stalloris", "missing_roa_impact",
+    "nested_bomb", "plan_whack",
     "prefill_keys", "render_table4", "reset_default_metrics", "run_campaign",
     "shrink_plan", "take_snapshot", "trace", "validate", "validity_matrix",
     "whack_blast_radius",

@@ -13,11 +13,17 @@ that the relying parties uphold their robustness contract:
   exactly under an identical fault stream, as does an attached RTR
   router after resync;
 - **no-crash**: no fault, however malformed, escapes containment as an
-  unhandled exception.
+  unhandled exception;
+- **bounded interference**: a relying party running the fetch scheduler
+  never lets one slow or amplifying authority age *unrelated*
+  authorities' cached points beyond a configured staleness bound.
 
 When an invariant breaks, :func:`shrink_plan` re-executes reduced fault
 plans (everything is a pure function of seed + plan) until it finds a
-minimal reproducer.  Entry point: ``python -m repro chaos``.
+minimal reproducer.  :func:`measure_stalloris` stages the amplified
+slowdown attack on its own and quantifies the time-to-stale downgrade
+with and without the scheduler defense.  Entry points: ``python -m repro
+chaos`` and ``python -m repro stalloris``.
 """
 
 from .campaign import (
@@ -28,6 +34,12 @@ from .campaign import (
     shrink_plan,
 )
 from .plan import FAULT_MENU, FaultPlan, PlannedFault, build_plan
+from .stalloris import (
+    StallorisConfig,
+    StallorisReport,
+    StallorisRun,
+    measure_stalloris,
+)
 
 __all__ = [
     "FAULT_MENU",
@@ -35,8 +47,12 @@ __all__ = [
     "CampaignResult",
     "FaultPlan",
     "PlannedFault",
+    "StallorisConfig",
+    "StallorisReport",
+    "StallorisRun",
     "Violation",
     "build_plan",
+    "measure_stalloris",
     "run_campaign",
     "shrink_plan",
 ]

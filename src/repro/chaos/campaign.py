@@ -10,6 +10,14 @@ them in clock lockstep for N refresh cycles:
   :class:`~repro.repository.faults.FaultInjector` (same seed, same fetch
   order, therefore the same fault stream).
 
+A fifth *scheduled* world rides along: a serial relying party running
+the :class:`~repro.repository.scheduler.FetchScheduler` defense under
+the same fault plan.  Its fetch order legitimately diverges (deferral is
+the whole point), so it is exempt from the equivalence invariant but
+subject to safety — and to **bounded interference**: under any plan, a
+slow or amplifying authority must not starve *unrelated* authorities'
+publication points beyond a configured staleness bound.
+
 An RTR fan-out rides on the serial variant: the cache + router pair,
 plus a :class:`~repro.rtr.CacheChain` of non-validating caches
 re-serving the cache's beliefs tier by tier — with its own chaos:
@@ -26,6 +34,11 @@ After every cycle three invariants are checked:
   the validating RP's set once pumped.
 - **no-crash** — nothing anywhere raises out of the cycle: a violation
   of the containment contract is an unhandled exception here.
+- **bounded interference** — on the scheduled variant, every cached
+  publication point *not* recently covered by a timing fault must have
+  refreshed successfully within ``interference_bound`` simulated
+  seconds: one authority's slow subtree may cost itself freshness, never
+  its neighbors'.
 
 On violation the campaign stops and :func:`shrink_plan` delta-debugs the
 fault plan down to a minimal reproducer by re-running reduced plans from
@@ -41,6 +54,8 @@ from dataclasses import dataclass
 from ..jurisdiction.regions import RIR
 from ..modelgen import DeploymentConfig, build_deployment
 from ..repository import Fetcher, FaultInjector
+from ..repository.faults import POINT_KINDS
+from ..repository.scheduler import SchedulerConfig
 from ..repository.uri import RsyncUri
 from ..rp import RelyingParty
 from ..rtr import (
@@ -81,6 +96,11 @@ class CampaignConfig:
     plant_violation: bool = False  # stage the stealthy-delete + replay demo
     rtr_tiers: int = 1           # chained-cache fan-out depth (0 = none)
     rtr_fanout: int = 2          # children per cache in the chain
+    # Stalloris knobs: delegated slow points minted by one authority, and
+    # the staleness bound the scheduled variant must hold for points no
+    # timing fault recently covered (None derives one from the timings).
+    amplification_points: int = 0
+    interference_bound: int | None = None
 
     def deployment(self) -> DeploymentConfig:
         return DeploymentConfig(
@@ -90,7 +110,22 @@ class CampaignConfig:
             customers_per_isp=self.customers_per_isp,
             roas_per_isp=1,
             roas_per_customer=1,
+            amplification_points=self.amplification_points,
         )
+
+    def effective_interference_bound(self) -> int:
+        """The bound actually enforced (derived unless configured).
+
+        The derivation covers the scheduled relying party's worst case:
+        an unrelated point refreshes every cycle, so its age stays under
+        one cycle gap plus a few authority-budget-sized fetch bursts on
+        either side of its own fetch — while an *unscheduled* starved
+        point's age grows by a full cycle every cycle and crosses any
+        fixed bound.
+        """
+        if self.interference_bound is not None:
+            return self.interference_bound
+        return 4 * (self.gap_seconds + 2 * self.attempt_timeout)
 
 
 @dataclass(frozen=True)
@@ -98,7 +133,8 @@ class Violation:
     """One invariant broken at one cycle."""
 
     cycle: int
-    invariant: str  # "safety" | "equivalence" | "no-crash"
+    # "safety" | "equivalence" | "no-crash" | "bounded-interference"
+    invariant: str
     detail: str
 
     def __str__(self) -> str:
@@ -118,6 +154,10 @@ class CampaignResult:
     rtr_events: int = 0
     chain_caches: int = 0
     clean_vrps: int = 0
+    # Worst unrelated-point staleness age observed on the scheduled
+    # variant, and the bound it was held to.
+    interference_worst: int = 0
+    interference_bound: int = 0
     metrics: MetricsRegistry | None = None
 
     @property
@@ -129,7 +169,7 @@ class _Variant:
     """One relying party (plus optional fault injector) over one world."""
 
     def __init__(self, name: str, world, config: CampaignConfig,
-                 *, faulted: bool):
+                 *, faulted: bool, schedule: SchedulerConfig | None = None):
         self.name = name
         self.world = world
         self.metrics = MetricsRegistry()
@@ -147,6 +187,7 @@ class _Variant:
             world.trust_anchors, fetcher,
             mode=(name if name in ("incremental", "parallel") else "serial"),
             workers=(config.workers if name == "parallel" else 0),
+            schedule=schedule,
             metrics=self.metrics,
         )
 
@@ -187,7 +228,19 @@ class _Campaign:
             _Variant(name, build_deployment(deployment), config, faulted=True)
             for name in _VARIANTS
         ]
-        self.worlds = [self.clean.world] + [v.world for v in self.faulted]
+        # The defense under test: a serial RP running the fetch scheduler
+        # with an authority budget of one attempt deadline — enough for a
+        # first contact plus a recovery probe per slow host per cycle.
+        self.scheduled = _Variant(
+            "scheduled", build_deployment(deployment), config, faulted=True,
+            schedule=SchedulerConfig(authority_budget=config.attempt_timeout),
+        )
+        self.worlds = (
+            [self.clean.world]
+            + [v.world for v in self.faulted]
+            + [self.scheduled.world]
+        )
+        self.t0 = self.scheduled.world.clock.now
 
         points = sorted(
             _normalize(ca.sia)
@@ -308,7 +361,7 @@ class _Campaign:
 
     def _schedule(self, cycle: int) -> None:
         active = self.plan.active_at(cycle)
-        for variant in self.faulted:
+        for variant in [*self.faulted, self.scheduled]:
             variant.faults.clear()
             for planned in active:
                 planned.schedule_on(variant.faults)
@@ -379,6 +432,7 @@ class _Campaign:
             reports["clean"] = self.clean.rp.refresh()
             for variant in self.faulted:
                 reports[variant.name] = variant.rp.refresh()
+            reports["scheduled"] = self.scheduled.rp.refresh()
             serial = self.faulted[0]
             result.quarantined_objects += len(
                 reports["serial"].degradation.quarantined_objects
@@ -393,7 +447,7 @@ class _Campaign:
             )
 
         clean_set = self.clean.vrp_set()
-        for variant in self.faulted:
+        for variant in [*self.faulted, self.scheduled]:
             extras = variant.vrp_set() - clean_set
             if extras:
                 shown = ", ".join(str(v) for v in sorted(extras)[:3])
@@ -429,6 +483,46 @@ class _Campaign:
                             f"diverged from the validating RP "
                             f"({len(served)} vs {len(serial_set)} VRPs)",
                         )
+        return self._check_interference(cycle, result)
+
+    def _check_interference(
+        self, cycle: int, result: CampaignResult
+    ) -> Violation | None:
+        """The bounded-interference invariant on the scheduled variant.
+
+        Points recently covered by a point-level fault (the timing and
+        availability kinds, including AMPLIFY's subtree prefixes) are
+        exempt — the attacker may of course cost *itself* freshness.
+        Every other cached point must have refreshed successfully within
+        the configured bound; staleness there means one authority's
+        slowness leaked onto its neighbors.  The lookback window covers
+        every cycle whose fault could still legitimately age a point at
+        the bound.
+        """
+        bound = self.config.effective_interference_bound()
+        result.interference_bound = bound
+        now = self.scheduled.world.clock.now
+        lookback = bound // self.config.gap_seconds + 2
+        exempt = tuple({
+            planned.point_uri
+            for planned in self.plan.faults
+            if planned.kind in POINT_KINDS and any(
+                planned.active_at(k)
+                for k in range(max(0, cycle - lookback), cycle + 1)
+            )
+        })
+        for point in self.scheduled.rp.cache.points():
+            if exempt and point.uri.startswith(exempt):
+                continue
+            since = point.last_success if point.last_success >= 0 else self.t0
+            age = now - since
+            result.interference_worst = max(result.interference_worst, age)
+            if age > bound:
+                return Violation(
+                    cycle, "bounded-interference",
+                    f"unrelated point {point.uri} stale for {age}s on the "
+                    f"scheduled RP (bound {bound}s)",
+                )
         return None
 
 

@@ -9,9 +9,11 @@ and re-running) meaningful.
 
 Every fault family the delivery layer knows is in the menu: the timing
 and availability kinds (DELAY / STALL / FLAKY / UNREACHABLE), the
-byte-level kinds (DROP / CORRUPT / TRUNCATE / OVERSIZED), and the
-Byzantine kinds (SPLIT_VIEW / MANIFEST_REPLAY / STALE_CRL / KEY_SWAP)
-introduced for the misbehaving-authority threat model.
+subtree-wide Stalloris amplification kind (AMPLIFY — one authority's
+whole delegation tree turns slow), the byte-level kinds (DROP / CORRUPT
+/ TRUNCATE / OVERSIZED), and the Byzantine kinds (SPLIT_VIEW /
+MANIFEST_REPLAY / STALE_CRL / KEY_SWAP) introduced for the
+misbehaving-authority threat model.
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ FAULT_MENU: tuple[FaultKind, ...] = (
     FaultKind.MANIFEST_REPLAY,
     FaultKind.STALE_CRL,
     FaultKind.KEY_SWAP,
+    FaultKind.AMPLIFY,
 )
 
 
@@ -64,17 +67,25 @@ class PlannedFault:
         return cycle == self.cycle
 
     def schedule_on(self, injector: FaultInjector) -> None:
+        # AMPLIFY is subtree-wide by construction: one entry must slow
+        # *every* point under the prefix, so within a cycle it never
+        # exhausts.  (The campaign clears injectors between cycles, so
+        # cross-cycle persistence is still governed by ``persistent``.)
+        count = PERSISTENT if (
+            self.persistent or self.kind is FaultKind.AMPLIFY
+        ) else 1
         injector.schedule(
             self.kind,
             self.point_uri,
-            count=PERSISTENT if self.persistent else 1,
+            count=count,
             delay_seconds=self.delay_seconds,
             fail_rate=self.fail_rate,
         )
 
     def describe(self) -> str:
         text = f"cycle {self.cycle}: {self.kind.value} @ {self.point_uri}"
-        if self.kind is FaultKind.DELAY:
+        if self.kind in (FaultKind.DELAY, FaultKind.AMPLIFY) \
+                and self.delay_seconds:
             text += f" (+{self.delay_seconds}s)"
         if self.persistent:
             text += " (persistent)"
@@ -144,13 +155,26 @@ def build_plan(
     for cycle in range(cycles):
         for _ in range(rng.choice(weights)):
             kind = rng.choice(FAULT_MENU)
+            target = rng.choice(targets)
+            if kind is FaultKind.AMPLIFY:
+                # Amplification is subtree-wide by definition: aim at the
+                # authority's host prefix so every point it publishes (or
+                # delegates) under that host turns slow at once.
+                target = _host_prefix(target)
             faults.append(PlannedFault(
                 cycle=cycle,
                 kind=kind,
-                point_uri=rng.choice(targets),
+                point_uri=target,
                 delay_seconds=(
                     rng.randrange(60, 420)
-                    if kind is FaultKind.DELAY else 0
+                    if kind in (FaultKind.DELAY, FaultKind.AMPLIFY) else 0
                 ),
             ))
     return FaultPlan(seed=seed, cycles=cycles, faults=tuple(faults))
+
+
+def _host_prefix(point_uri: str) -> str:
+    """``rsync://host/...`` -> ``rsync://host/`` (whole-authority prefix)."""
+    scheme, _, rest = point_uri.partition("://")
+    host = rest.split("/", 1)[0]
+    return f"{scheme}://{host}/"

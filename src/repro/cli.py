@@ -16,6 +16,7 @@
     python -m repro perf            # cold vs. warm incremental revalidation
     python -m repro refresh         # one refresh cycle, optionally parallel
     python -m repro chaos           # Byzantine fault campaign + shrink demo
+    python -m repro stalloris       # amplified slowdown vs. fetch scheduler
     python -m repro api             # the origin-validation query plane
     python -m repro rtr             # router-fleet fan-out over chained caches
     python -m repro profile         # cProfile a refresh, rank the hotspots
@@ -542,8 +543,8 @@ def cmd_chaos(args) -> None:
 
     config = CampaignConfig(seed=_seed(args, 7), cycles=args.cycles)
     print(f"Chaos campaign: seed {config.seed}, {config.cycles} cycles — "
-          "serial vs incremental vs\nparallel relying parties plus an RTR "
-          "router, under one seeded fault plan\n")
+          "serial vs incremental vs\nparallel relying parties, a scheduled "
+          "RP, plus an RTR router, under one\nseeded fault plan\n")
     result = run_campaign(config)
     print(f"fault plan ({len(result.plan)} faults):")
     print(result.plan.describe())
@@ -554,8 +555,11 @@ def cmd_chaos(args) -> None:
           f"points degraded: {result.degraded_points}  "
           f"rtr chaos events: {result.rtr_events}")
     print(f"clean VRPs at end: {result.clean_vrps}")
+    print(f"scheduled RP worst unrelated-point age: "
+          f"{result.interference_worst}s (bound {result.interference_bound}s)")
     if result.violation is None:
-        print("invariants: safety, equivalence, no-crash — held every cycle")
+        print("invariants: safety, equivalence, bounded-interference, "
+              "no-crash — held every cycle")
     else:
         print(f"INVARIANT VIOLATION: {result.violation}")
 
@@ -576,6 +580,39 @@ def cmd_chaos(args) -> None:
     print(f"shrunk the {len(staged.plan)}-fault plan to {len(minimal)} "
           f"fault(s) in {runs} campaign re-runs:")
     print(minimal.describe())
+
+
+def cmd_stalloris(args) -> None:
+    from .chaos import StallorisConfig, measure_stalloris
+
+    config = StallorisConfig(
+        seed=_seed(args, 1),
+        amplification_points=args.points,
+        cycles=args.attack_cycles,
+    )
+    print("Stalloris-grade slowdown: one authority's delegation tree turns "
+          "into\n"
+          f"{config.amplification_points} stalled publication points; "
+          "every engine measured with the global\n"
+          f"fetch budget ({config.fetch_budget}s) and with the per-authority "
+          f"scheduler ({config.attempt_timeout}s/host)\n")
+    report = measure_stalloris(config)
+    print(report.render())
+    budget = report.run("serial", False)
+    sched = report.run("serial", True)
+    print()
+    print(f"=> the budgeted fetcher burns {config.fetch_budget}s/cycle "
+          "inside the attacker's subtree\n"
+          f"   and skips {budget.skipped[-1]} victim points every cycle: "
+          "their cached data ages one full\n"
+          "   cycle per cycle, unbounded — while still *counting* as valid "
+          "VRPs, which is\n"
+          "   exactly the downgrade window the attack buys.  The scheduler "
+          "defers the\n"
+          f"   slow children instead (deferred {sched.deferred[-1]}/cycle), "
+          f"pins victim age at\n"
+          f"   {sched.victim_age[-1]}s, and only the attacker's own "
+          "delegations expire.")
 
 
 def cmd_api(args) -> None:
@@ -807,6 +844,7 @@ _COMMANDS: dict[str, Callable] = {
     "perf": cmd_perf,
     "refresh": cmd_refresh,
     "chaos": cmd_chaos,
+    "stalloris": cmd_stalloris,
     "api": cmd_api,
     "rtr": cmd_rtr,
     "profile": cmd_profile,
@@ -885,6 +923,17 @@ def build_parser() -> argparse.ArgumentParser:
                 "--cycles", type=int, default=20,
                 help="refresh cycles to run in the chaos campaign",
             )
+        if name in ("stalloris", "all"):
+            sub.add_argument(
+                "--points", type=int, default=8,
+                help="stalled delegated publication points the attacker "
+                     "mints (the amplification factor)",
+            )
+            sub.add_argument(
+                "--attack-cycles", type=int, default=5,
+                help="attacked refresh cycles measured after the healthy "
+                     "warm-up",
+            )
         if name in ("rtr", "all"):
             sub.add_argument(
                 "--tiers", type=int, default=2,
@@ -930,6 +979,10 @@ def main(argv: list[str] | None = None) -> int:
         args.workers = 0
     if not hasattr(args, "cycles"):
         args.cycles = 20
+    if not hasattr(args, "points"):
+        args.points = 8
+    if not hasattr(args, "attack_cycles"):
+        args.attack_cycles = 5
     if not hasattr(args, "tiers"):
         args.tiers = 2
     if not hasattr(args, "fanout"):

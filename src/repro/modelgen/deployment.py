@@ -62,6 +62,18 @@ class DeploymentConfig:
     revisions (the chain consumes no extra jurisdiction-RNG draws, so
     country tags are unchanged for any depth).
 
+    ``amplification_points`` builds the Stalloris delegation-tree
+    amplifier: one extra authority under the first RIR (handle
+    ``<rir>-amp``, its own host) delegating to that many child CAs, each
+    publishing one ROA at its own publication point under the amplifier's
+    host.  A single timing fault on the amplifier's URI prefix (see
+    :data:`~repro.repository.faults.FaultKind.AMPLIFY`) then makes every
+    one of those points slow at once — N attempt-deadlines of relying-
+    party time for one authority's worth of misbehavior.  The amplifier
+    is generated *after* the regular hierarchy and draws nothing from
+    the jurisdiction RNG, so ``amplification_points=0`` worlds stay
+    byte-identical to earlier revisions.  Hierarchical generator only.
+
     ``flat`` switches to the Internet-scale generator: per RIR,
     ``isps_per_rir`` sibling ISP authorities each publishing
     ``roas_per_isp`` ROAs at its own publication point, no customer
@@ -85,12 +97,32 @@ class DeploymentConfig:
     key_bits: int = 512
     flat: bool = False
     shared_ee_keys: bool = False
+    amplification_points: int = 0
 
     def __post_init__(self) -> None:
         if self.shared_ee_keys and not self.flat:
             raise ValueError(
                 "shared_ee_keys requires the flat generator (flat=True)"
             )
+        if self.amplification_points:
+            if self.amplification_points < 0:
+                raise ValueError(
+                    f"bad amplification {self.amplification_points}"
+                )
+            if self.flat:
+                raise ValueError(
+                    "amplification_points requires the hierarchical "
+                    "generator (flat=False)"
+                )
+            if self.amplification_points > 250:
+                raise ValueError(
+                    "amplifier fits at most 250 /24 children in its /16"
+                )
+            if self.isps_per_rir > 190:
+                raise ValueError(
+                    "amplification_points needs isps_per_rir <= 190 (the "
+                    "amplifier takes the /16 at index 200)"
+                )
         if self.flat:
             if self.roas_per_isp > 256:
                 raise ValueError(
@@ -111,6 +143,11 @@ class DeploymentWorld:
     registry: RepositoryRegistry
     roots: list[tuple[CertificateAuthority, RIR]] = field(default_factory=list)
     as_country: dict[ASN, str] = field(default_factory=dict)
+    # The Stalloris amplifier, when amplification_points > 0: the rsync
+    # host its whole delegation subtree publishes under (the AMPLIFY
+    # fault target) and the child publication-point URIs.
+    amplifier_host: str | None = None
+    amplifier_points: list[str] = field(default_factory=list)
 
     @property
     def trust_anchors(self):
@@ -149,7 +186,11 @@ def expected_keypairs(config: DeploymentConfig) -> int:
     per_isp = (
         1 + config.roas_per_isp + config.customers_per_isp * per_customer
     )
-    return len(config.rirs) * (1 + config.isps_per_rir * per_isp)
+    total = len(config.rirs) * (1 + config.isps_per_rir * per_isp)
+    if config.amplification_points:
+        # The amplifier CA, plus one CA and one ROA EE per child point.
+        total += 1 + 2 * config.amplification_points
+    return total
 
 
 # The Internet-scale family: flat worlds from 10⁴ to 10⁵ ROAs.  The real
@@ -297,7 +338,59 @@ def build_deployment(
                         parent.issue_roa(
                             customer_asn, str(sub_prefixes[prefix_index])
                         )
+    if config.amplification_points:
+        # Built after (and independent of) the regular hierarchy so the
+        # jurisdiction RNG stream — and therefore every country tag —
+        # is unchanged for amplification_points=0.
+        _build_amplifier(config, world)
     return world
+
+
+def _build_amplifier(
+    config: DeploymentConfig, world: DeploymentWorld
+) -> None:
+    """The Stalloris amplifier: one authority, many delegated points.
+
+    One child authority of the first RIR root, holding the /16 at index
+    200 of the root's first block (out of reach of the ISP allocator for
+    ``isps_per_rir <= 190``), delegating one /24 child CA per
+    amplification point.  Every child publishes at its own publication
+    point under the amplifier's single host, so one prefix-matched
+    timing fault (``FaultKind.AMPLIFY`` on ``rsync://<host>/``) slows
+    the whole subtree — the delegation-tree amplification where each
+    child costs the relying party an attempt deadline but costs the
+    attacker only a certificate.
+    """
+    root, rir = world.roots[0]
+    handle = f"{rir.name.lower()}-amp"
+    host = f"{handle}.example"
+    block = Prefix.parse(_RIR_BLOCKS[rir][0])
+    allocation = _subprefix_at(block, 16, 200)
+    server = world.registry.create_server(
+        host, _locator_inside(allocation, asn=64000, offset=10)
+    )
+    amplifier = root.issue_child_authority(
+        handle,
+        ResourceSet.parse(str(allocation)),
+        sia=f"rsync://{host}/repo/",
+        publication_point=server.mount(f"rsync://{host}/repo/"),
+    )
+    home = sorted(region_of(rir))[0]
+    world.as_country[ASN(64000)] = home
+    world.amplifier_host = host
+    for index in range(config.amplification_points):
+        child_alloc = _subprefix_at(allocation, 24, index)
+        sia = f"rsync://{host}/repo/amp{index}/"
+        child = amplifier.issue_child_authority(
+            f"{handle}-{index}",
+            ResourceSet.parse(str(child_alloc)),
+            sia=sia,
+            publication_point=server.mount(sia),
+        )
+        child_asn = ASN(65000 + index)
+        world.as_country[child_asn] = home
+        child.issue_roa(child_asn, str(child_alloc))
+        world.amplifier_points.append(sia)
 
 
 def _build_flat(

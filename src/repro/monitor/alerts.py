@@ -23,6 +23,12 @@ alert                      signature
                            the Stalloris availability-attack fingerprint,
                            raised by :class:`repro.monitor.stall.StallDetector`
                            rather than by :func:`analyze`.
+``AMPLIFIED_STALL``        many publication points of ONE authority (rsync
+                           host) sustainedly stalled at once — the
+                           delegation-tree amplification fingerprint: an
+                           attacker minting slow delegated points to multiply
+                           the per-point cost, raised by the stall detector's
+                           per-host aggregation.
 ``EQUIVOCATION``           the same publication point served different
                            content to different fetchers in the same epoch
                            — the split-view Byzantine fault, raised by
@@ -65,6 +71,7 @@ class AlertKind(enum.Enum):
     SUSPICIOUS_REISSUE = "suspicious-reissue"
     RENEWAL = "renewal"
     SUSTAINED_STALL = "sustained-stall"
+    AMPLIFIED_STALL = "amplified-stall"
     EQUIVOCATION = "equivocation"
     MANIFEST_REPLAY = "manifest-replay"
 
@@ -76,6 +83,7 @@ _SEVERITY = {
     AlertKind.SUSPICIOUS_REISSUE: "critical",
     AlertKind.RENEWAL: "info",
     AlertKind.SUSTAINED_STALL: "critical",
+    AlertKind.AMPLIFIED_STALL: "critical",
     AlertKind.EQUIVOCATION: "critical",
     AlertKind.MANIFEST_REPLAY: "critical",
 }
@@ -101,6 +109,7 @@ class Alert:
             AlertKind.RC_SHRUNK,
             AlertKind.SUSPICIOUS_REISSUE,
             AlertKind.SUSTAINED_STALL,
+            AlertKind.AMPLIFIED_STALL,
             AlertKind.EQUIVOCATION,
             AlertKind.MANIFEST_REPLAY,
         )

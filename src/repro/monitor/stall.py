@@ -14,6 +14,14 @@ its routes downgrade to unknown.
 point's consecutive-degraded streak reaches the configured threshold.
 Below the threshold nothing fires, which is what keeps background churn
 (one-off flaky fetches, transient unreachability) out of the pager.
+
+The detector also aggregates stalled points per authority (rsync host):
+when one host accounts for ``amplification_threshold`` or more
+simultaneously stalled points, it raises a single
+:data:`~repro.monitor.alerts.AlertKind.AMPLIFIED_STALL` alert for the
+host — the delegation-tree amplification fingerprint (one misbehaving
+authority minting many slow delegated points to multiply the per-point
+cost), which per-point alerts alone would drown in noise.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..repository.fetch import FetchResult, FetchStatus
+from ..repository.uri import RsyncUri
 from ..telemetry import MetricsRegistry, default_registry
 from .alerts import Alert, AlertKind
 
@@ -41,10 +50,17 @@ class StallConfig:
     """When a degraded streak becomes an alert."""
 
     alert_threshold: int = 3   # consecutive degraded epochs before paging
+    # Simultaneously stalled points on one host before the aggregated
+    # amplified-stall alert fires alongside the per-point pages.
+    amplification_threshold: int = 3
 
     def __post_init__(self) -> None:
         if self.alert_threshold < 1:
             raise ValueError(f"bad alert threshold {self.alert_threshold}")
+        if self.amplification_threshold < 2:
+            raise ValueError(
+                f"bad amplification threshold {self.amplification_threshold}"
+            )
 
 
 class StallDetector:
@@ -101,6 +117,20 @@ class StallDetector:
                     ))
             else:
                 self.consecutive[uri] = 0
+
+        by_host: dict[str, list[str]] = {}
+        for uri in self.stalled_points():
+            by_host.setdefault(RsyncUri.parse(uri).host, []).append(uri)
+        for host in sorted(by_host):
+            stalled = by_host[host]
+            if len(stalled) < self.config.amplification_threshold:
+                continue
+            alerts.append(Alert(
+                AlertKind.AMPLIFIED_STALL, stalled[0], host,
+                f"{len(stalled)} publication points of one authority "
+                "sustainedly stalled at once — delegation-tree "
+                "amplification (a Stalloris-grade slowdown, not an outage)",
+            ))
 
         self.history.append(alerts)
         for alert in alerts:

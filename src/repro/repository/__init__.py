@@ -24,6 +24,7 @@ from .resilience import (
     ResilienceConfig,
     RetryPolicy,
 )
+from .scheduler import FetchScheduler, SchedulerConfig
 from .server import (
     HostLocator,
     HostedPublicationPoint,
@@ -44,6 +45,7 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FetchResult",
+    "FetchScheduler",
     "FetchStatus",
     "Fetcher",
     "HostLocator",
@@ -56,6 +58,7 @@ __all__ = [
     "ResilienceConfig",
     "RetryPolicy",
     "RsyncUri",
+    "SchedulerConfig",
     "UnknownHostError",
     "UriError",
     "always_reachable",

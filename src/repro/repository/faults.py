@@ -14,7 +14,17 @@ and deterministic:
   :data:`FaultKind.FLAKY`) that model the Stalloris-style availability
   attacks the resilience layer defends against: a publication point that
   answers slowly, hangs past any deadline, or fails a seeded fraction of
-  attempts.
+  attempts; and
+- the *amplified* timing fault (:data:`FaultKind.AMPLIFY`): one
+  misbehaving authority makes its entire delegation subtree slow at
+  once.  Faults match by URI *prefix*, so a single AMPLIFY scheduled on
+  an authority's base URI hits every delegated publication point under
+  it — the Stalloris delegation-tree amplification, where the attacker
+  multiplies a per-point slowdown by the number of children it mints
+  (see ``DeploymentConfig(amplification_points=N)`` in
+  :mod:`repro.modelgen`).  With ``delay_seconds > 0`` every matched
+  point costs that many simulated seconds per attempt; with the default
+  ``0`` every matched point stalls past any deadline, like STALL.
 
 Schedule a fault with ``count=PERSISTENT`` to keep it firing forever —
 how a deliberately stalling authority is modeled, as opposed to the
@@ -79,6 +89,7 @@ class FaultKind(enum.Enum):
     DELAY = "delay"        # the fetch succeeds but costs simulated seconds
     STALL = "stall"        # the fetch hangs past any deadline (Stalloris)
     FLAKY = "flaky"        # the attempt fails with a seeded probability
+    AMPLIFY = "amplify"    # a whole delegation subtree turns slow at once
     # Byzantine authority kinds: well-formed, semantically adversarial.
     SPLIT_VIEW = "split-view"            # per-identity equivocation
     MANIFEST_REPLAY = "manifest-replay"  # stale-but-signed past state
@@ -90,7 +101,14 @@ class FaultKind(enum.Enum):
 # Kinds that apply to a whole publication-point attempt, not to one file.
 POINT_KINDS = frozenset({
     FaultKind.UNREACHABLE, FaultKind.DELAY, FaultKind.STALL, FaultKind.FLAKY,
+    FaultKind.AMPLIFY,
 })
+
+# The timing kinds point_delay() consumes.  AMPLIFY is DELAY/STALL over a
+# whole subtree: scheduled against an authority's base URI it matches every
+# delegated point under that prefix, stalling (delay_seconds == 0) or
+# delaying (delay_seconds > 0) each one.
+_TIMING_KINDS = (FaultKind.DELAY, FaultKind.STALL, FaultKind.AMPLIFY)
 
 # Kinds that rewrite the *content* of a whole assembled fetch (after the
 # attempt survived the timing/availability kinds, before per-file kinds).
@@ -204,10 +222,11 @@ class FaultInjector:
         """Schedule *count* occurrences of *kind* against a point or file.
 
         ``count=PERSISTENT`` never exhausts.  *delay_seconds* only makes
-        sense for :data:`FaultKind.DELAY`; *fail_rate* only for
-        :data:`FaultKind.FLAKY`.
+        sense for :data:`FaultKind.DELAY` and :data:`FaultKind.AMPLIFY`
+        (where ``0`` means the whole subtree stalls); *fail_rate* only
+        for :data:`FaultKind.FLAKY`.
         """
-        if kind is FaultKind.DELAY and delay_seconds < 0:
+        if kind in (FaultKind.DELAY, FaultKind.AMPLIFY) and delay_seconds < 0:
             raise ValueError(f"bad delay {delay_seconds}")
         if not 0.0 <= fail_rate <= 1.0:
             raise ValueError(f"bad fail rate {fail_rate}")
@@ -230,16 +249,22 @@ class FaultInjector:
 
         Returns the extra simulated seconds the attempt costs (``0`` when
         no timing fault is due), or ``None`` for a :data:`FaultKind.STALL`
-        — the attempt hangs past *any* deadline the fetcher sets.
+        — the attempt hangs past *any* deadline the fetcher sets.  An
+        :data:`FaultKind.AMPLIFY` behaves like a subtree-wide STALL
+        (``delay_seconds == 0``) or DELAY (``> 0``): because faults match
+        by URI prefix, one AMPLIFY on an authority's base URI makes every
+        delegated point under it slow for the price of one entry.
         """
         for fault in self._faults:
-            if fault.kind not in (FaultKind.DELAY, FaultKind.STALL):
+            if fault.kind not in _TIMING_KINDS:
                 continue
             if fault.matches(point_uri, None):
                 fault.consume()
                 self._record(point_uri, "", fault.kind)
                 if fault.kind is FaultKind.STALL:
                     return None
+                if fault.kind is FaultKind.AMPLIFY:
+                    return fault.delay_seconds or None
                 return fault.delay_seconds
         return 0
 

@@ -147,6 +147,7 @@ class CircuitBreaker:
         self.state = BreakerState.CLOSED
         self.failures = 0    # consecutive failures while CLOSED
         self.successes = 0   # consecutive probe successes while HALF_OPEN
+        self.probing = 0     # half-open probes admitted but not yet recorded
         self.opened_at = -1
         self.transitions: list[tuple[int, BreakerState]] = []
 
@@ -159,8 +160,17 @@ class CircuitBreaker:
         """May the host be contacted at *now*?  -> (allowed, transition)."""
         if self.state is BreakerState.OPEN:
             if now - self.opened_at >= self.policy.reset_timeout:
+                self.probing = 1
                 return True, self._move(BreakerState.HALF_OPEN, now)
             return False, None
+        if self.state is BreakerState.HALF_OPEN:
+            # Admit at most the probes the policy needs to close.  Without
+            # this cap every allow() before the first record() was let
+            # through, re-flooding a host that has not proven itself yet.
+            if self.probing >= self.policy.half_open_successes:
+                return False, None
+            self.probing += 1
+            return True, None
         return True, None
 
     def record(self, ok: bool, now: int) -> BreakerState | None:
@@ -168,13 +178,16 @@ class CircuitBreaker:
         if ok:
             self.failures = 0
             if self.state is BreakerState.HALF_OPEN:
+                self.probing = max(0, self.probing - 1)
                 self.successes += 1
                 if self.successes >= self.policy.half_open_successes:
                     self.successes = 0
+                    self.probing = 0
                     return self._move(BreakerState.CLOSED, now)
             return None
         self.successes = 0
         if self.state is BreakerState.HALF_OPEN:
+            self.probing = 0
             self.opened_at = now
             return self._move(BreakerState.OPEN, now)
         self.failures += 1

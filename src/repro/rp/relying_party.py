@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from ..parallel import ParallelEngine, WorkerPool
 from ..repository.cache import CacheFreshness, LocalCache
 from ..repository.fetch import Fetcher, FetchResult, FetchStatus
+from ..repository.scheduler import FetchScheduler, SchedulerConfig
 from ..repository.uri import RsyncUri
 from ..rpki.cert import ResourceCertificate
 from ..simtime import Clock
@@ -87,6 +88,9 @@ class RefreshReport:
     skipped: list[str] = field(default_factory=list)
     freshness: dict[str, CacheFreshness] = field(default_factory=dict)
     degradation: DegradationReport = field(default_factory=DegradationReport)
+    # Points the fetch scheduler deferred to stale-cache grace this cycle
+    # (always empty without a ``schedule=`` config).
+    deferred: list[str] = field(default_factory=list)
 
     @property
     def vrps(self) -> VrpSet:
@@ -135,6 +139,18 @@ class RelyingParty:
         per-attempt deadline is small.  Once exhausted, remaining points
         are skipped and validation falls back to the cache — the
         stale-serve path.  ``None`` (default) never stops fetching.
+    schedule:
+        Optional fetch scheduling, the Stalloris defense: a
+        :class:`~repro.repository.scheduler.SchedulerConfig` (or a
+        prebuilt :class:`~repro.repository.scheduler.FetchScheduler`)
+        that orders each round's fetches by priority (staleness x
+        authority weight, then past-latency EWMA) and enforces a
+        per-authority time budget, so one slow delegation subtree cannot
+        monopolize the refresh.  Over-budget points are *deferred*:
+        listed on :attr:`RefreshReport.deferred`, recorded as degraded,
+        and served from stale-cache grace like a failed fetch.  Works
+        with every engine mode.  ``None`` (the default) keeps the
+        historical plain-sorted fetch order byte-identically.
     strict_manifests:
         Validator policy on manifest trouble (see :class:`PathValidator`).
     mode:
@@ -195,6 +211,7 @@ class RelyingParty:
         keep_stale: bool = True,
         stale_grace: int | None = None,
         fetch_budget: int | None = None,
+        schedule: SchedulerConfig | FetchScheduler | None = None,
         strict_manifests: bool = False,
         mode: str | None = None,
         workers: int = 0,
@@ -237,6 +254,12 @@ class RelyingParty:
         self.fetch_budget = fetch_budget
         self.workers = workers
         self.metrics = metrics if metrics is not None else default_registry()
+        if isinstance(schedule, FetchScheduler):
+            self.scheduler: FetchScheduler | None = schedule
+        elif schedule is not None:
+            self.scheduler = FetchScheduler(schedule, metrics=self.metrics)
+        else:
+            self.scheduler = None
         self.cache = LocalCache(keep_stale=keep_stale, stale_grace=stale_grace,
                                 metrics=self.metrics)
         self.incremental_state = (
@@ -317,10 +340,19 @@ class RelyingParty:
         start = self._clock.now
         budget_hit = False
         unfetched_at_break: set[str] = set()
+        deferred: set[str] = set()
+        if self.scheduler is not None:
+            self.scheduler.begin_cycle()
         with self.metrics.trace("repro_rp_refresh_seconds", self._clock):
             while pending and not budget_hit:
                 report.rounds += 1
-                for uri in sorted(pending):
+                ordered = (
+                    sorted(pending) if self.scheduler is None
+                    else self.scheduler.order(
+                        pending, self.cache, self._clock.now
+                    )
+                )
+                for uri in ordered:
                     if (
                         self.fetch_budget is not None
                         and self._clock.now - start >= self.fetch_budget
@@ -330,6 +362,19 @@ class RelyingParty:
                         budget_hit = True
                         unfetched_at_break = pending - fetched
                         break
+                    if self.scheduler is not None:
+                        remaining = (
+                            None if self.fetch_budget is None
+                            else self.fetch_budget
+                            - (self._clock.now - start)
+                        )
+                        if not self.scheduler.admit(
+                            uri, remaining_budget=remaining
+                        ):
+                            # Deferred to stale-cache grace: the cache's
+                            # last good copy keeps serving this cycle.
+                            deferred.add(uri)
+                            continue
                     try:
                         result = self.fetcher.fetch_point(uri)
                     except Exception:
@@ -343,22 +388,27 @@ class RelyingParty:
                     self.cache.update(result)
                     report.fetches.append(result)
                     fetched.add(uri)
+                    if self.scheduler is not None:
+                        self.scheduler.record(uri, result.elapsed)
                 run = self._validate()
                 discovered = {
                     str(RsyncUri.parse(uri))
                     for cert in run.validated_cas
                     for uri in cert.all_publication_uris
                 }
-                pending = discovered - fetched
+                pending = discovered - fetched - deferred
         if budget_hit:
             report.budget_exhausted = True
             # One computation covers both the points skipped when the
             # budget tripped and anything the final validation discovered.
             report.skipped = sorted(unfetched_at_break | (pending - fetched))
             self._m_budget_exhausted.inc()
+        report.deferred = sorted(deferred)
         report.freshness = self.cache.classify(self._clock.now)
         report.run = run
-        report.degradation = self._degradation(report.fetches, run)
+        report.degradation = self._degradation(
+            report.fetches, run, report.deferred
+        )
         self._last_run = run
         self._m_refreshes.inc()
         self._m_rounds.inc(report.rounds)
@@ -371,24 +421,37 @@ class RelyingParty:
 
     @staticmethod
     def _degradation(
-        fetches: list[FetchResult], run: ValidationRun
+        fetches: list[FetchResult],
+        run: ValidationRun,
+        deferred: list[str] = (),
     ) -> DegradationReport:
-        """Aggregate this cycle's containment outcomes."""
+        """Aggregate this cycle's containment outcomes.
+
+        Every degraded point appears exactly once: a point both
+        quarantined by validation *and* failing its fetch (a composed
+        timing + Byzantine fault) is still one degraded point, reported
+        under its first-seen reason.
+        """
         degradation = DegradationReport()
+        seen: set[str] = set()
+
+        def degrade(uri: str, reason: str) -> None:
+            if uri not in seen:
+                seen.add(uri)
+                degradation.degraded_points.append((uri, reason))
+
         for issue in run.issues:
             if issue.code in _QUARANTINE_CODES:
                 degradation.quarantined_objects.append(
                     (issue.point_uri, issue.file_name, issue.code)
                 )
             elif issue.code == "point-quarantined":
-                degradation.degraded_points.append(
-                    (issue.point_uri, issue.code)
-                )
+                degrade(issue.point_uri, issue.code)
         for result in fetches:
             if not result.ok:
-                degradation.degraded_points.append(
-                    (result.uri, result.status.value)
-                )
+                degrade(result.uri, result.status.value)
+        for uri in deferred:
+            degrade(uri, "budget-deferred")
         return degradation
 
     def _validate(self) -> ValidationRun:

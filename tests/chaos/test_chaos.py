@@ -35,12 +35,31 @@ class TestPlans:
     def test_menu_covers_every_family(self):
         kinds = set(FAULT_MENU)
         assert FaultKind.STALL in kinds          # timing
+        assert FaultKind.AMPLIFY in kinds        # subtree amplification
         assert FaultKind.CORRUPT in kinds        # byte-level
         assert FaultKind.SPLIT_VIEW in kinds     # Byzantine
         assert FaultKind.MANIFEST_REPLAY in kinds
         assert FaultKind.STALE_CRL in kinds
         assert FaultKind.KEY_SWAP in kinds
         assert FaultKind.OVERSIZED in kinds
+
+    def test_amplify_draws_target_a_whole_host(self):
+        plan = build_plan(7, 300, POINTS)
+        amplified = [f for f in plan.faults if f.kind is FaultKind.AMPLIFY]
+        assert amplified  # 300 cycles always draw the kind at least once
+        for fault in amplified:
+            scheme, _, rest = fault.point_uri.partition("://")
+            assert scheme == "rsync"
+            assert rest.endswith("/") and "/" not in rest[:-1]
+            assert fault.delay_seconds >= 0
+
+    def test_amplify_never_exhausts_within_a_cycle(self):
+        fault = PlannedFault(0, FaultKind.AMPLIFY, "rsync://a.example/")
+        injector = FaultInjector()
+        fault.schedule_on(injector)
+        for i in range(8):  # every point under the prefix stays slow
+            assert injector.point_delay(f"rsync://a.example/repo/amp{i}/") \
+                is None
 
     def test_persistent_fault_active_from_cycle_on(self):
         fault = PlannedFault(3, FaultKind.STALL, POINTS[0], persistent=True)
@@ -147,6 +166,96 @@ class TestStagedViolation:
         assert result.ok
         with pytest.raises(ValueError):
             shrink_plan(clean, result.plan)
+
+
+class TestBoundedInterference:
+    def test_amplified_campaign_holds_the_bound(self):
+        config = CampaignConfig(seed=7, cycles=6, amplification_points=4)
+        result = run_campaign(config)
+        assert result.ok, str(result.violation)
+        assert result.interference_bound == \
+            config.effective_interference_bound()
+        assert 0 <= result.interference_worst <= result.interference_bound
+
+    def test_default_bound_derivation(self):
+        config = CampaignConfig(gap_seconds=900, attempt_timeout=600)
+        assert config.effective_interference_bound() == 4 * (900 + 2 * 600)
+        override = CampaignConfig(interference_bound=1234)
+        assert override.effective_interference_bound() == 1234
+
+    def test_impossible_bound_is_violated_and_shrinks(self):
+        # A 1-second bound is unsatisfiable the moment any timing fault
+        # burns clock between two unrelated fetches — so the invariant
+        # must fire, name the right invariant, and delta-debug down to a
+        # minimal plan exactly like the other invariants do.
+        config = CampaignConfig(seed=7, cycles=20, interference_bound=1)
+        result = run_campaign(config)
+        assert result.violation is not None
+        assert result.violation.invariant == "bounded-interference"
+        assert "unrelated point" in result.violation.detail
+        minimal, runs = shrink_plan(config, result.plan, max_runs=60)
+        assert len(minimal) == 1
+        again = run_campaign(config, plan=minimal)
+        assert again.violation is not None
+        assert again.violation.invariant == "bounded-interference"
+
+    def test_amplified_campaign_is_deterministic(self):
+        config = CampaignConfig(seed=9, cycles=4, amplification_points=3)
+        one = run_campaign(config)
+        two = run_campaign(config)
+        assert one.ok and two.ok
+        assert one.interference_worst == two.interference_worst
+        assert one.faults_fired == two.faults_fired
+
+    def test_amplification_rejects_flat_generator(self):
+        import pytest as _pytest
+        from repro.modelgen import DeploymentConfig
+        with _pytest.raises(ValueError):
+            DeploymentConfig(flat=True, amplification_points=2)
+
+
+class TestStallorisHarness:
+    def test_attack_contrast(self):
+        from repro.chaos import StallorisConfig, measure_stalloris
+
+        report = measure_stalloris(StallorisConfig(cycles=4))
+        assert report.amplifier_host
+        assert report.amplifier_points == 8
+        for engine in ("serial", "incremental", "parallel"):
+            budget = report.run(engine, scheduled=False)
+            scheduled = report.run(engine, scheduled=True)
+            # Unscheduled: victim age grows one full cycle per cycle and
+            # crosses the stale grace — the time-to-stale downgrade.
+            ages = budget.victim_age
+            assert all(b - a == 2100 for a, b in zip(ages, ages[1:]))
+            assert budget.time_to_stale is not None
+            # Scheduled: victim age pinned at one burst, never downgrades.
+            assert scheduled.time_to_stale is None
+            assert max(scheduled.victim_age) <= 2 * 1200
+            assert max(scheduled.deferred) > 0
+
+    def test_harness_is_deterministic(self):
+        from repro.chaos import StallorisConfig, measure_stalloris
+
+        config = StallorisConfig(cycles=3)
+        one = measure_stalloris(config)
+        two = measure_stalloris(config)
+        assert [r.as_dict() for r in one.runs] == \
+            [r.as_dict() for r in two.runs]
+
+    def test_render_and_validation(self):
+        from repro.chaos import StallorisConfig, measure_stalloris
+
+        report = measure_stalloris(StallorisConfig(cycles=2))
+        text = report.render()
+        assert report.amplifier_host in text
+        assert "time-to-stale" in text
+        with pytest.raises(ValueError):
+            StallorisConfig(amplification_points=0)
+        with pytest.raises(ValueError):
+            StallorisConfig(cycles=0)
+        with pytest.raises(KeyError):
+            report.run("serial", None)
 
 
 class TestFanOutTopology:

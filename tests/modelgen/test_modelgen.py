@@ -163,3 +163,71 @@ class TestTable4World:
 
         expected = sum(len(r.countries) + 1 for r in TABLE4_ROWS)
         assert len(rp.vrps) == expected
+
+
+class TestAmplifier:
+    """The Stalloris attacker's delegation tree, minted by the generator."""
+
+    CONFIG = DeploymentConfig(
+        seed=1, isps_per_rir=2, customers_per_isp=1, amplification_points=6,
+    )
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_deployment(self.CONFIG)
+
+    def test_amplifier_shape(self, world):
+        assert world.amplifier_host and world.amplifier_host.endswith("-amp.example")
+        assert len(world.amplifier_points) == 6
+        # Every child point lives under the amplifier's own repo prefix,
+        # so one URI-prefix fault covers the whole subtree.
+        for uri in world.amplifier_points:
+            assert uri.startswith(f"rsync://{world.amplifier_host}/repo/amp")
+
+    def test_children_publish_and_validate(self, world):
+        rp = RelyingParty(
+            world.trust_anchors,
+            Fetcher(world.registry, world.clock),
+            world.clock,
+        )
+        rp.refresh()
+        amp_asns = {65000 + i for i in range(6)}
+        validated = {int(v.asn) for v in rp.vrps}
+        assert amp_asns <= validated
+
+    def test_zero_points_world_is_byte_identical(self):
+        baseline = DeploymentConfig(seed=1, isps_per_rir=2, customers_per_isp=1)
+        with_knob = DeploymentConfig(
+            seed=1, isps_per_rir=2, customers_per_isp=1, amplification_points=0,
+        )
+        one, two = build_deployment(baseline), build_deployment(with_knob)
+        assert one.as_country == two.as_country
+        assert [ca.handle for ca in one.authorities()] == \
+            [ca.handle for ca in two.authorities()]
+        assert two.amplifier_host is None and two.amplifier_points == []
+
+    def test_amplifier_does_not_disturb_the_main_hierarchy(self, world):
+        # The amplifier draws nothing from the jurisdiction RNG: every
+        # pre-existing authority is identical with and without it.
+        plain = build_deployment(
+            DeploymentConfig(seed=1, isps_per_rir=2, customers_per_isp=1)
+        )
+        amp_handles = {ca.handle for ca in world.authorities()} \
+            - {ca.handle for ca in plain.authorities()}
+        assert all("amp" in handle for handle in amp_handles)
+        assert world.as_country.items() >= plain.as_country.items()
+
+    def test_expected_keypairs_accounts_for_the_subtree(self, world):
+        from repro.modelgen.deployment import expected_keypairs
+
+        base = DeploymentConfig(seed=1, isps_per_rir=2, customers_per_isp=1)
+        assert expected_keypairs(self.CONFIG) \
+            == expected_keypairs(base) + 1 + 2 * 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(amplification_points=-1)
+        with pytest.raises(ValueError):
+            DeploymentConfig(amplification_points=251)
+        with pytest.raises(ValueError):
+            DeploymentConfig(amplification_points=1, isps_per_rir=191)

@@ -92,3 +92,35 @@ def test_metrics_and_history():
 def test_threshold_validation():
     with pytest.raises(ValueError):
         StallConfig(alert_threshold=0)
+    with pytest.raises(ValueError):
+        StallConfig(amplification_threshold=1)
+
+
+def amp(i, host="arin-amp.example"):
+    return f"rsync://{host}/repo/amp{i}/"
+
+
+def test_amplified_stall_aggregates_per_host():
+    detector = make(threshold=1)
+    alerts = detector.observe([bad(amp(i)) for i in range(4)])
+    amplified = [a for a in alerts if a.kind is AlertKind.AMPLIFIED_STALL]
+    assert len(amplified) == 1  # one alert per host, not per point
+    assert amplified[0].subject == "arin-amp.example"
+    assert amplified[0].severity == "critical" and amplified[0].is_suspicious
+    assert "4 publication points" in amplified[0].detail
+    # Re-raised while the amplification persists, like the per-point pages.
+    again = detector.observe([bad(amp(i)) for i in range(4)])
+    assert sum(a.kind is AlertKind.AMPLIFIED_STALL for a in again) == 1
+
+
+def test_below_amplification_threshold_stays_per_point():
+    detector = make(threshold=1)  # amplification_threshold defaults to 3
+    alerts = detector.observe([bad(amp(0)), bad(amp(1))])
+    assert [a.kind for a in alerts] == [AlertKind.SUSTAINED_STALL] * 2
+
+
+def test_stalls_across_hosts_do_not_aggregate():
+    detector = make(threshold=1)
+    spread = [bad(f"rsync://host{i}.example/repo/") for i in range(5)]
+    alerts = detector.observe(spread)
+    assert all(a.kind is AlertKind.SUSTAINED_STALL for a in alerts)

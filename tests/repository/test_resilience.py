@@ -91,6 +91,30 @@ class TestRetryPolicy:
         with pytest.raises(ValueError):
             RetryPolicy(backoff_multiplier=0.5)
 
+    def test_jitter_is_pinned_across_runs(self):
+        # The jitter is SHA-256 of (salt, retry) — no interpreter state,
+        # no PYTHONHASHSEED dependence — so the schedule is a constant of
+        # the codebase.  These golden values catch algorithm drift.
+        policy = RetryPolicy()
+        salt = "rsync://continental/repo/"
+        assert [policy.backoff(r, salt=salt) for r in (1, 2)] == [5, 7]
+
+    def test_backoff_schedule_survives_pickle_round_trip(self):
+        # Worker processes receive their RetryPolicy by pickling; the
+        # schedule a worker computes must be bit-identical to the
+        # parent's, or parallel refreshes would advance their clocks
+        # differently from serial ones.
+        import pickle
+
+        policy = RetryPolicy()
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone == policy
+        salts = [f"rsync://host{i}.example/repo/" for i in range(8)]
+        schedule = [policy.backoff(retry, salt=salt)
+                    for salt in salts for retry in (1, 2, 3)]
+        assert schedule == [clone.backoff(retry, salt=salt)
+                            for salt in salts for retry in (1, 2, 3)]
+
 
 class TestCircuitBreaker:
     def test_opens_after_threshold_consecutive_failures(self):
@@ -127,6 +151,47 @@ class TestCircuitBreaker:
         assert [state for _, state in breaker.transitions] == [
             BreakerState.OPEN, BreakerState.HALF_OPEN, BreakerState.OPEN,
         ]
+
+    def test_half_open_admits_only_the_policy_probe_count(self):
+        # The re-entry edge case: before the first probe's outcome is
+        # recorded, further allow() calls must NOT be admitted — a
+        # half-open breaker grants exactly half_open_successes in-flight
+        # probes, not unlimited traffic.
+        policy = BreakerPolicy(failure_threshold=1, reset_timeout=10)
+        breaker = CircuitBreaker("h", policy)
+        breaker.record(False, 0)
+        allowed, transition = breaker.allow(10)
+        assert allowed and transition is BreakerState.HALF_OPEN
+        assert breaker.allow(10) == (False, None)  # probe still in flight
+        assert breaker.allow(11) == (False, None)
+        assert breaker.record(True, 12) is BreakerState.CLOSED
+        assert breaker.allow(13) == (True, None)  # closed: traffic flows
+
+    def test_half_open_multi_probe_accounting(self):
+        policy = BreakerPolicy(
+            failure_threshold=1, reset_timeout=10, half_open_successes=2,
+        )
+        breaker = CircuitBreaker("h", policy)
+        breaker.record(False, 0)
+        breaker.allow(10)  # -> HALF_OPEN, first probe admitted
+        assert breaker.allow(10) == (True, None)   # second concurrent probe
+        assert breaker.allow(10) == (False, None)  # third: over the cap
+        assert breaker.record(True, 11) is None    # 1 of 2 successes
+        assert breaker.allow(11) == (True, None)   # a slot freed up
+        assert breaker.record(True, 12) is BreakerState.CLOSED
+
+    def test_reopen_after_probe_failure_resets_probe_accounting(self):
+        policy = BreakerPolicy(failure_threshold=1, reset_timeout=10)
+        breaker = CircuitBreaker("h", policy)
+        breaker.record(False, 0)
+        breaker.allow(10)
+        assert breaker.record(False, 11) is BreakerState.OPEN
+        assert breaker.probing == 0
+        # The next half-open episode starts with a fresh probe grant.
+        allowed, transition = breaker.allow(21)
+        assert allowed and transition is BreakerState.HALF_OPEN
+        assert breaker.allow(21) == (False, None)
+        assert breaker.record(True, 22) is BreakerState.CLOSED
 
 
 class TestFetcherRetries:

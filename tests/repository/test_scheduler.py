@@ -1,0 +1,240 @@
+"""Unit tests for the deadline-aware fetch scheduler.
+
+The defense half of the Stalloris reproduction: priority ordering
+(stalest-first, weighted), per-authority time budgets with recovery
+probes, and the relying-party wiring — including the contract that
+``schedule=None`` leaves the historical fetch behavior untouched.
+"""
+
+import pytest
+
+from repro.modelgen import DeploymentConfig, build_deployment
+from repro.repository import (
+    PERSISTENT,
+    FaultInjector,
+    FaultKind,
+    FetchResult,
+    FetchStatus,
+    Fetcher,
+    LocalCache,
+)
+from repro.repository.scheduler import FetchScheduler, SchedulerConfig
+from repro.rp import RelyingParty
+from repro.telemetry import MetricsRegistry
+
+
+def make_cache(*specs):
+    """specs: (uri, last_success) pairs; -1 = attempted, never succeeded."""
+    cache = LocalCache(metrics=MetricsRegistry())
+    for uri, success in specs:
+        if success < 0:
+            cache.update(FetchResult(uri, FetchStatus.TIMEOUT, fetched_at=0))
+        else:
+            cache.update(FetchResult(uri, FetchStatus.OK, {"a.roa": b"x"},
+                                     fetched_at=success))
+    return cache
+
+
+def make_scheduler(**kw):
+    return FetchScheduler(SchedulerConfig(**kw), metrics=MetricsRegistry())
+
+
+A1 = "rsync://alpha.example/repo/"
+A2 = "rsync://alpha.example/repo/sub/"
+B1 = "rsync://beta.example/repo/"
+
+
+class TestSchedulerConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(authority_budget=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(authority_max_points=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(probes_per_cycle=-1)
+        with pytest.raises(ValueError):
+            SchedulerConfig(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(authority_weights={"h": -1.0})
+
+    def test_weight_defaults_to_one(self):
+        config = SchedulerConfig(authority_weights={"alpha.example": 3.0})
+        assert config.weight_for("alpha.example") == 3.0
+        assert config.weight_for("beta.example") == 1.0
+
+
+class TestOrdering:
+    def test_never_fetched_points_come_first(self):
+        scheduler = make_scheduler()
+        cache = make_cache((A1, 100), (B1, -1))
+        new = "rsync://gamma.example/repo/"  # not in the cache at all
+        ordered = scheduler.order({A1, B1, new}, cache, now=200)
+        assert ordered.index(B1) < ordered.index(A1)
+        assert ordered.index(new) < ordered.index(A1)
+
+    def test_stalest_first(self):
+        scheduler = make_scheduler()
+        cache = make_cache((A1, 50), (B1, 150))
+        assert scheduler.order({A1, B1}, cache, now=200) == [A1, B1]
+
+    def test_authority_weight_scales_staleness(self):
+        # beta is half as stale but weighs 3x: it sorts first.
+        scheduler = make_scheduler(authority_weights={"beta.example": 3.0})
+        cache = make_cache((A1, 100), (B1, 150))
+        assert scheduler.order({A1, B1}, cache, now=200) == [B1, A1]
+
+    def test_cheap_expected_cost_breaks_ties(self):
+        scheduler = make_scheduler()
+        cache = make_cache((A1, 100), (B1, 100))
+        scheduler.record(A1, 600)  # past latency makes A1 expensive
+        assert scheduler.order({A1, B1}, cache, now=200) == [B1, A1]
+
+    def test_uri_breaks_remaining_ties(self):
+        scheduler = make_scheduler()
+        cache = make_cache((A2, 100), (A1, 100), (B1, 100))
+        assert scheduler.order({A1, A2, B1}, cache, now=200) == [A1, A2, B1]
+
+
+class TestAdmission:
+    def test_healthy_fetches_never_deferred(self):
+        scheduler = make_scheduler(authority_budget=600)
+        for uri in (A1, A2, B1):
+            assert scheduler.admit(uri)
+            scheduler.record(uri, 0)  # healthy: zero simulated cost
+
+    def test_over_budget_host_gets_probes_then_defers(self):
+        scheduler = make_scheduler(authority_budget=600, probes_per_cycle=1)
+        assert scheduler.admit(A1)
+        scheduler.record(A1, 600)  # one stalled deadline: budget consumed
+        assert scheduler.admit(A2)      # the recovery probe
+        assert not scheduler.admit(A2)  # probes exhausted: deferred
+        assert scheduler.admit(B1)      # other authorities unaffected
+
+    def test_budget_boundary_is_inclusive(self):
+        # spent == budget must already defer (with probes off): otherwise
+        # a zero-EWMA point slips in a third deadline burn per cycle.
+        scheduler = make_scheduler(authority_budget=600, probes_per_cycle=0)
+        assert scheduler.admit(A1)
+        scheduler.record(A1, 600)
+        assert not scheduler.admit(A2)
+
+    def test_predicted_cost_counts_against_budget(self):
+        scheduler = make_scheduler(authority_budget=600, probes_per_cycle=0)
+        scheduler.record(A1, 600)  # EWMA now predicts a 600 s fetch
+        scheduler.begin_cycle()    # spend resets, history persists
+        assert not scheduler.admit(A1)  # 0 spent + 600 predicted >= 600
+
+    def test_authority_point_cap(self):
+        scheduler = make_scheduler(authority_max_points=1)
+        assert scheduler.admit(A1)
+        assert not scheduler.admit(A2)  # same host, cap reached
+        assert scheduler.admit(B1)
+
+    def test_global_budget_defers_expensive_fetches(self):
+        scheduler = make_scheduler(authority_budget=10_000)
+        scheduler.record(A1, 600)
+        scheduler.begin_cycle()
+        assert not scheduler.admit(A1, remaining_budget=100)
+        assert scheduler.admit(A1, remaining_budget=600)
+
+    def test_begin_cycle_resets_spend_not_history(self):
+        scheduler = make_scheduler(authority_budget=600)
+        scheduler.record(A1, 600)
+        assert scheduler.spend() == {"alpha.example": 600}
+        scheduler.begin_cycle()
+        assert scheduler.spend() == {}
+        assert scheduler.expected_cost(A1) == 600.0
+
+    def test_ewma_blends_observations(self):
+        scheduler = make_scheduler(ewma_alpha=0.5)
+        scheduler.record(A1, 600)
+        assert scheduler.expected_cost(A1) == 600.0  # first observation
+        scheduler.record(A1, 0)  # the host recovered
+        assert scheduler.expected_cost(A1) == 300.0
+        scheduler.record(A1, 0)
+        assert scheduler.expected_cost(A1) == 150.0
+
+    def test_deferral_metrics_by_reason(self):
+        scheduler = make_scheduler(authority_budget=600, probes_per_cycle=0)
+        scheduler.admit(A1)
+        scheduler.record(A1, 600)
+        scheduler.admit(A2)   # deferred: authority-budget
+        scheduler.record(B1, 600)
+        scheduler.begin_cycle()
+        scheduler.admit(B1, remaining_budget=100)  # deferred: global-budget
+        deferred = scheduler.metrics.get("repro_sched_deferred_total")
+        assert deferred.value(reason="authority-budget") == 1
+        assert deferred.value(reason="global-budget") == 1
+        admitted = scheduler.metrics.get("repro_sched_admitted_total")
+        assert admitted.value(kind="scheduled") == 1
+
+
+def amplified_world(points=4):
+    return build_deployment(DeploymentConfig(
+        seed=1, isps_per_rir=2, customers_per_isp=1,
+        roas_per_isp=1, roas_per_customer=1,
+        amplification_points=points,
+    ))
+
+
+class TestRelyingPartyWiring:
+    def make_rp(self, world, *, faults=None, schedule=None, **kw):
+        fetcher = Fetcher(world.registry, world.clock, faults=faults,
+                          attempt_timeout=600, metrics=MetricsRegistry())
+        return RelyingParty(world.trust_anchors, fetcher,
+                            schedule=schedule, metrics=fetcher.metrics, **kw)
+
+    def test_default_has_no_scheduler_and_no_deferrals(self):
+        world = amplified_world()
+        rp = self.make_rp(world)
+        report = rp.refresh()
+        assert rp.scheduler is None
+        assert report.deferred == []
+
+    def test_off_path_output_identical_to_unscheduled(self):
+        # schedule=None must not change a single byte of the refresh
+        # output relative to an RP built before the knob existed.
+        config = DeploymentConfig(seed=1, isps_per_rir=2, customers_per_isp=1,
+                                  amplification_points=4)
+        w1, w2 = build_deployment(config), build_deployment(config)
+        rp1 = self.make_rp(w1)
+        rp2 = self.make_rp(w2, schedule=None)
+        r1, r2 = rp1.refresh(), rp2.refresh()
+        assert rp1.vrps.as_frozenset() == rp2.vrps.as_frozenset()
+        assert rp1.cache.digests(0) == rp2.cache.digests(0)
+        assert [f.uri for f in r1.fetches] == [f.uri for f in r2.fetches]
+        assert r1.deferred == r2.deferred == []
+
+    def test_scheduler_defers_amplified_subtree_and_reports_it(self):
+        world = amplified_world(points=6)
+        faults = FaultInjector(seed=1)
+        rp = self.make_rp(
+            world, faults=faults,
+            schedule=SchedulerConfig(authority_budget=600),
+        )
+        rp.refresh()  # healthy warm-up
+        faults.schedule(
+            FaultKind.AMPLIFY,
+            f"rsync://{world.amplifier_host}/repo/amp",
+            count=PERSISTENT, delay_seconds=0,
+        )
+        world.clock.advance(900)
+        start = world.clock.now
+        report = rp.refresh()
+        # At most first contact + one probe on the slow host per cycle.
+        assert world.clock.now - start <= 2 * 600
+        assert len(report.deferred) >= 4
+        assert all(world.amplifier_host in uri for uri in report.deferred)
+        reasons = dict(report.degradation.degraded_points)
+        assert any(r == "budget-deferred" for r in reasons.values())
+
+    def test_scheduler_instance_can_be_shared(self):
+        world = amplified_world()
+        scheduler = FetchScheduler(SchedulerConfig(),
+                                   metrics=MetricsRegistry())
+        rp = self.make_rp(world, schedule=scheduler)
+        assert rp.scheduler is scheduler
+        rp.refresh()
+        # Healthy world: every fetch recorded, zero simulated cost.
+        assert scheduler.spend()
+        assert all(cost == 0 for cost in scheduler.spend().values())

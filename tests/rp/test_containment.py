@@ -130,6 +130,75 @@ class TestIncrementalMemoNotPoisoned:
         assert len(rp.vrps) == 8
 
 
+class TestComposedFaultDegradation:
+    """Timing + Byzantine faults on one point: once per category, no abort.
+
+    The dedupe contract of ``RelyingParty._degradation``: however many
+    sources flag the same publication point in one refresh — a failed
+    fetch, a validation quarantine, a scheduler deferral — it appears
+    exactly once in ``degraded_points``, under its first-seen reason.
+    """
+
+    def test_stalled_point_with_replayed_manifest_degrades_once(self, world):
+        from collections import Counter
+
+        faults = FaultInjector(seed=3)
+        fetcher = Fetcher(world.registry, world.clock, faults=faults)
+        rp = RelyingParty(world.trust_anchors, fetcher, world.clock,
+                          stale_grace=8 * HOUR)
+        rp.refresh()  # healthy warm-up: everything cached
+        world.continental.renew_roa(world.target20_name)
+        world.clock.advance(HOUR)
+        rp.refresh()  # the renewed state becomes the replayable snapshot
+        from repro.repository import PERSISTENT
+        faults.schedule(FaultKind.MANIFEST_REPLAY, CONTINENTAL,
+                        count=PERSISTENT)
+        faults.schedule(FaultKind.STALL, CONTINENTAL, count=PERSISTENT)
+        world.clock.advance(HOUR)
+        report = rp.refresh()  # composed: stall + stale replayed manifest
+
+        counts = Counter(u for u, _ in report.degradation.degraded_points)
+        assert counts[CONTINENTAL] == 1
+        assert dict(report.degradation.degraded_points)[CONTINENTAL] \
+            == "timeout"
+        # Containment, not abort: the stale copy serves through grace and
+        # the rest of the tree is untouched.
+        assert VRP.parse("63.161.0.0/16-24", 1239) in rp.vrps
+        assert len(rp.vrps) == 8
+        object_counts = Counter(report.degradation.quarantined_objects)
+        assert all(n == 1 for n in object_counts.values())
+
+    def test_degradation_dedupes_across_all_sources(self):
+        from repro.repository import FetchResult, FetchStatus
+        from repro.rp.pathval import Severity, ValidationIssue
+        from repro.rp.relying_party import RelyingParty as RP
+
+        uri = "rsync://composed.example/repo/"
+
+        class FakeRun:
+            issues = [
+                ValidationIssue(Severity.ERROR, uri, "", "point-quarantined",
+                                "validation raised ValueError: boom"),
+                ValidationIssue(Severity.ERROR, uri, "", "point-quarantined",
+                                "validation raised ValueError: again"),
+            ]
+
+        fetches = [FetchResult(uri, FetchStatus.TIMEOUT, fetched_at=0)]
+        degradation = RP._degradation(fetches, FakeRun(), deferred=[uri])
+        # Three sources, one entry — first-seen (quarantine) reason wins.
+        assert degradation.degraded_points == [(uri, "point-quarantined")]
+
+    def test_deferred_only_point_reports_budget_deferred(self):
+        from repro.rp.relying_party import RelyingParty as RP
+
+        class CleanRun:
+            issues = []
+
+        uri = "rsync://slow.example/repo/amp0/"
+        degradation = RP._degradation([], CleanRun(), deferred=[uri])
+        assert degradation.degraded_points == [(uri, "budget-deferred")]
+
+
 class TestDegradedPoints:
     def test_unreachable_point_recorded(self, world):
         faults = FaultInjector()

@@ -106,8 +106,9 @@ class TestCli:
     def test_chaos_smoke(self, capsys):
         out = run(capsys, "chaos", "--seed", "7", "--cycles", "3")
         assert "Chaos campaign: seed 7, 3 cycles" in out
-        assert "invariants: safety, equivalence, no-crash — held every cycle" \
-            in out
+        assert ("invariants: safety, equivalence, bounded-interference, "
+                "no-crash — held every cycle") in out
+        assert "scheduled RP worst unrelated-point age:" in out
         # The staged misbehavior must be detected and shrunk to a minimal
         # reproducer of at most 3 faults.
         assert "staged misbehavior" in out
@@ -117,6 +118,23 @@ class TestCli:
         assert len(shrunk) == 1
         minimal = int(shrunk[0].split(" plan to ")[1].split()[0])
         assert 1 <= minimal <= 3
+
+    def test_stalloris_smoke(self, capsys):
+        out = run(capsys, "stalloris", "--attack-cycles", "3")
+        assert "Stalloris-grade slowdown" in out
+        assert "arin-amp.example" in out
+        # The attack table contrasts both postures on every engine.
+        for engine in ("serial", "incremental", "parallel"):
+            assert f"{engine}/budget" in out
+            assert f"{engine}/scheduled" in out
+        # Unscheduled refresh crosses the stale grace; scheduled never does.
+        assert "4200s" in out
+        assert "never" in out
+
+    def test_stalloris_points_flag(self, capsys):
+        out = run(capsys, "stalloris", "--points", "4",
+                  "--attack-cycles", "2")
+        assert "4 stalled publication points" in out
 
     def test_api_smoke(self, capsys):
         out = run(capsys, "api")

@@ -1,0 +1,102 @@
+"""Tier-1 hook for the fault-coverage lint (tools/check_fault_coverage.py).
+
+Fails the suite if any :class:`repro.repository.faults.FaultKind` member
+is exercised by no test — neither listed in the chaos campaign's
+``FAULT_MENU`` nor referenced as ``FaultKind.<MEMBER>`` anywhere under
+``tests/`` or ``benchmarks/`` — or if the menu names a member the enum
+no longer defines.  The lint is AST/text based: it must keep working
+even when the package itself fails to import.
+"""
+
+import pathlib
+import sys
+import textwrap
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_fault_coverage  # noqa: E402
+
+
+def test_repo_covers_every_fault_kind():
+    problems = check_fault_coverage.check_all()
+    assert problems == [], "\n".join(problems)
+
+
+def test_member_extraction_matches_the_real_enum():
+    from repro.repository import FaultKind
+
+    assert check_fault_coverage.fault_kind_members() == \
+        {member.name for member in FaultKind}
+
+
+def test_menu_extraction_matches_the_real_menu():
+    from repro.chaos import FAULT_MENU
+
+    assert check_fault_coverage.menu_members() == \
+        {kind.name for kind in FAULT_MENU}
+
+
+def _fixture_repo(tmp_path, *, enum, menu, test_source=""):
+    faults = tmp_path / "src" / "repro" / "repository" / "faults.py"
+    faults.parent.mkdir(parents=True)
+    faults.write_text(textwrap.dedent(enum), encoding="utf-8")
+    plan = tmp_path / "src" / "repro" / "chaos" / "plan.py"
+    plan.parent.mkdir(parents=True)
+    plan.write_text(textwrap.dedent(menu), encoding="utf-8")
+    tests = tmp_path / "tests"
+    tests.mkdir()
+    (tests / "test_faults.py").write_text(test_source, encoding="utf-8")
+    return tmp_path
+
+
+ENUM = """
+    import enum
+
+    class FaultKind(enum.Enum):
+        DROP = "drop"
+        STALL = "stall"
+        AMPLIFY = "amplify"
+"""
+
+
+def test_lint_accepts_full_coverage(tmp_path):
+    root = _fixture_repo(
+        tmp_path, enum=ENUM,
+        menu="FAULT_MENU = (FaultKind.DROP, FaultKind.STALL)",
+        test_source="x = FaultKind.AMPLIFY\n",
+    )
+    assert check_fault_coverage.check_all(root) == []
+
+
+def test_lint_catches_untested_member(tmp_path):
+    root = _fixture_repo(
+        tmp_path, enum=ENUM,
+        menu="FAULT_MENU = (FaultKind.DROP,)",
+        test_source="x = FaultKind.STALL\n",
+    )
+    problems = check_fault_coverage.check_all(root)
+    assert len(problems) == 1
+    assert "FaultKind.AMPLIFY is exercised by no test" in problems[0]
+
+
+def test_lint_catches_menu_naming_a_ghost_member(tmp_path):
+    root = _fixture_repo(
+        tmp_path, enum=ENUM,
+        menu="FAULT_MENU = (FaultKind.DROP, FaultKind.STALL,\n"
+             "              FaultKind.AMPLIFY, FaultKind.GONE)",
+    )
+    problems = check_fault_coverage.check_all(root)
+    assert len(problems) == 1
+    assert "FaultKind.GONE" in problems[0]
+
+
+def test_missing_enum_class_is_loud(tmp_path):
+    root = _fixture_repo(
+        tmp_path, enum="class Other:\n    pass\n",
+        menu="FAULT_MENU = ()",
+    )
+    with pytest.raises(ValueError):
+        check_fault_coverage.check_all(root)

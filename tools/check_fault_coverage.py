@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Fault-coverage lint: every ``FaultKind`` member has an exercising test.
+
+The fault injector is only as trustworthy as the tests that drive it: a
+fault kind that exists in the enum but is never scheduled by any test is
+a containment claim nobody checks.  This lint closes that gap
+statically — no imports, so it runs even when the package under test is
+broken:
+
+1. **Enum members** are read from ``src/repro/repository/faults.py`` by
+   AST walk: the uppercase assignments in the ``FaultKind`` class body.
+2. **Coverage** is read from the test tree by text scan: every
+   ``FaultKind.<MEMBER>`` reference under ``tests/`` and
+   ``benchmarks/`` counts as an exercising test, and every member
+   listed in the chaos ``FAULT_MENU``
+   (``src/repro/chaos/plan.py``, AST walk again) counts as covered by
+   the seeded campaign — the campaign tests and the chaos benchmark
+   assert that the planned kinds equal the full menu.
+
+A member in the enum but in neither set fails the lint; so does a menu
+entry that names a member the enum no longer has (drift in the other
+direction).
+
+Run directly (``python tools/check_fault_coverage.py``, exit 1 on
+problems) or via the tier-1 test ``tests/test_fault_coverage_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FAULTS_MODULE = REPO_ROOT / "src" / "repro" / "repository" / "faults.py"
+PLAN_MODULE = REPO_ROOT / "src" / "repro" / "chaos" / "plan.py"
+TEST_DIRS = ("tests", "benchmarks")
+
+_REFERENCE = re.compile(r"\bFaultKind\.([A-Z_]+)\b")
+
+
+def fault_kind_members(module: pathlib.Path = FAULTS_MODULE) -> set[str]:
+    """The ``FaultKind`` member names, by AST walk (no import)."""
+    tree = ast.parse(module.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "FaultKind":
+            return {
+                target.id
+                for statement in node.body
+                if isinstance(statement, ast.Assign)
+                for target in statement.targets
+                if isinstance(target, ast.Name) and target.id.isupper()
+            }
+    raise ValueError(f"no FaultKind class found in {module}")
+
+
+def menu_members(module: pathlib.Path = PLAN_MODULE) -> set[str]:
+    """Members named in the chaos ``FAULT_MENU`` literal."""
+    tree = ast.parse(module.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "FAULT_MENU" for t in targets
+        ):
+            continue
+        return {
+            element.attr
+            for element in ast.walk(node)
+            if isinstance(element, ast.Attribute)
+            and isinstance(element.value, ast.Name)
+            and element.value.id == "FaultKind"
+        }
+    raise ValueError(f"no FAULT_MENU assignment found in {module}")
+
+
+def referenced_in_tests(root: pathlib.Path = REPO_ROOT) -> dict[str, str]:
+    """member name -> first test file referencing ``FaultKind.<member>``."""
+    seen: dict[str, str] = {}
+    for directory in TEST_DIRS:
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            text = path.read_text(encoding="utf-8")
+            for match in _REFERENCE.finditer(text):
+                seen.setdefault(match.group(1), str(path.relative_to(root)))
+    return seen
+
+
+def check_all(root: pathlib.Path = REPO_ROOT) -> list[str]:
+    members = fault_kind_members(root / FAULTS_MODULE.relative_to(REPO_ROOT))
+    menu = menu_members(root / PLAN_MODULE.relative_to(REPO_ROOT))
+    tested = referenced_in_tests(root)
+
+    problems = []
+    for member in sorted(members):
+        if member not in menu and member not in tested:
+            problems.append(
+                f"FaultKind.{member} is exercised by no test: not in the "
+                "chaos FAULT_MENU and never referenced under "
+                f"{' or '.join(TEST_DIRS)}/"
+            )
+    for member in sorted(menu - members):
+        problems.append(
+            f"FAULT_MENU names FaultKind.{member}, which the enum does "
+            "not define"
+        )
+    return problems
+
+
+def main() -> int:
+    problems = check_all()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} fault-coverage problem(s)", file=sys.stderr)
+        return 1
+    members = fault_kind_members()
+    menu = menu_members()
+    direct = set(referenced_in_tests())
+    print(
+        f"fault coverage ok: {len(members)} fault kind(s), "
+        f"{len(menu)} in the chaos menu, "
+        f"{len(direct & members)} referenced directly by tests"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
